@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out."""
+
+from repro.experiments import (
+    ablation_conflicts_vs_threads,
+    ablation_iterated_greedy,
+    ablation_orderings,
+    ablation_sched_fill_order,
+)
+
+from conftest import bench_scale
+
+
+def test_ablation_sched_fill_order(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablation_sched_fill_order(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_sched_fill_order.csv")
+    for row in table.rows:
+        assert row[2] >= 0 and row[4] >= 0
+
+
+def test_ablation_orderings(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablation_orderings(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_orderings.csv")
+    er_row = table.rows[-1]  # the Erdős–Rényi control
+    # degeneracy/largest-first orders use no more colors than natural
+    assert er_row[4] <= er_row[1]
+    assert er_row[3] <= er_row[1]
+
+
+def test_ablation_iterated_greedy(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablation_iterated_greedy(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_iterated_greedy.csv")
+    for row in table.rows:
+        counts = row[1:]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+
+def test_ablation_conflicts_vs_threads(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablation_conflicts_vs_threads(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_conflicts_vs_threads.csv")
+    conflicts = table.column("conflicts")
+    supersteps = table.column("supersteps")
+    assert conflicts[0] == 0  # one thread cannot race
+    assert max(supersteps) <= 12  # retry rounds stay a small constant
+
+
+def test_ablation_kempe(benchmark, emit):
+    from repro.experiments import ablation_kempe
+
+    table = benchmark.pedantic(
+        lambda: ablation_kempe(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_kempe.csv")
+    for row in table.rows:
+        name, ff, kempe, swaps, vff, clu = row
+        assert kempe < ff, name  # kempe always improves on FF
+
+
+def test_ablation_page_policy(benchmark, emit):
+    from repro.experiments import ablation_page_policy
+
+    table = benchmark.pedantic(ablation_page_policy, rounds=1, iterations=1)
+    emit(table, "ablation_page_policy.csv")
+    last = table.rows[-1]  # 36 accessing tiles
+    assert last[3] > 2 * last[2]  # homed saturates, hashed does not
+
+
+def test_ablation_color_all_phases(benchmark, emit):
+    from repro.experiments import ablation_color_all_phases
+
+    table = benchmark.pedantic(
+        lambda: ablation_color_all_phases(scale=bench_scale(0.12)),
+        rounds=1, iterations=1,
+    )
+    emit(table, "ablation_color_all_phases.csv")
+    for row in table.rows:
+        assert abs(row[1] - row[3]) < 0.1  # quality preserved
+
+
+def test_ablation_work_balance(benchmark, emit):
+    from repro.experiments import ablation_work_balance
+
+    table = benchmark.pedantic(
+        lambda: ablation_work_balance(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "ablation_work_balance.csv")
+    for row in table.rows:
+        # work-balancing slashes the per-class work dispersion
+        assert row[3] < 0.5 * row[2], row[0]

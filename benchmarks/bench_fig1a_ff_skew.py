@@ -1,0 +1,15 @@
+"""Fig. 1a: the Greedy-FF color-size skew that motivates the paper."""
+
+from repro.experiments import fig1a_ff_skew
+
+from conftest import bench_scale
+
+
+def test_fig1a_ff_skew(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig1a_ff_skew(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "fig1a_ff_skew.csv")
+    sizes = table.column("size")
+    # the paper's headline: orders of magnitude between first and last bins
+    assert sizes[0] > 20 * max(1, sizes[-1])

@@ -1,0 +1,21 @@
+"""Fig. 1b: modularity evolution on CNR across the four execution modes."""
+
+from repro.experiments import fig1b_modularity
+
+from conftest import bench_scale
+
+
+def test_fig1b_modularity(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig1b_modularity(scale=bench_scale(0.15), max_iterations=20),
+        rounds=1, iterations=1,
+    )
+    emit(table, "fig1b_modularity.csv")
+    last = table.rows[-1]
+    _, serial, nocol, skew, bal = last
+    # coloring-steered runs must reach at least the serial level while the
+    # Jacobi no-coloring run lags (the paper's Fig. 1b shape)
+    assert bal >= serial - 0.05
+    assert nocol <= bal + 1e-9
+    # the no-coloring curve starts visibly lower
+    assert table.rows[0][2] < table.rows[0][1]

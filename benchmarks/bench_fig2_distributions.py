@@ -1,0 +1,32 @@
+"""Fig. 2: color-class size distributions per balancing scheme."""
+
+import numpy as np
+
+from repro.experiments import fig2_distributions
+
+from conftest import bench_scale
+
+
+def _spread(column):
+    vals = np.array([v for v in column if v > 0], dtype=float)
+    return vals.max() / max(vals.min(), 1.0) if vals.size else 1.0
+
+
+def test_fig2_channel(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig2_distributions(input_name="channel", scale=bench_scale()),
+        rounds=1, iterations=1,
+    )
+    emit(table, "fig2_channel.csv")
+    # the balanced schemes flatten the FF spread
+    assert _spread(table.column("vff")) < _spread(table.column("greedy-ff"))
+    assert _spread(table.column("clu")) < _spread(table.column("greedy-ff"))
+
+
+def test_fig2_cnr(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig2_distributions(input_name="cnr", scale=bench_scale()),
+        rounds=1, iterations=1,
+    )
+    emit(table, "fig2_cnr.csv")
+    assert _spread(table.column("vff")) < _spread(table.column("greedy-ff"))

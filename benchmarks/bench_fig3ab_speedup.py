@@ -1,0 +1,24 @@
+"""Fig. 3a/3b: VFF speedup curves on both machine models."""
+
+from repro.experiments import fig3ab_speedups
+
+from conftest import bench_scale
+
+
+def test_fig3ab_speedups(benchmark, emit):
+    til, x86 = benchmark.pedantic(
+        lambda: fig3ab_speedups(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(til, "fig3a_tilera_speedup.csv")
+    emit(x86, "fig3b_x86_speedup.csv")
+
+    til_last = til.rows[-1]  # 36 threads
+    x86_last = x86.rows[-1]  # 32 threads
+    for name in ("uk2002", "mg2"):
+        i_t = til.headers.index(name)
+        # Tilera scales far better than x86 (the paper's headline contrast)
+        assert til_last[i_t] > 2 * x86_last[x86.headers.index(name)]
+        assert til_last[i_t] > 8.0
+    # channel is the worst Tilera scaler (12 colors -> contention)
+    ch = til.headers.index("channel")
+    assert til_last[ch] < til_last[til.headers.index("mg2")]

@@ -1,0 +1,18 @@
+"""Fig. 3c: modularity evolution on uk-2002 with VFF balanced coloring."""
+
+from repro.experiments import fig3c_uk2002
+
+from conftest import bench_scale
+
+
+def test_fig3c_uk2002(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig3c_uk2002(scale=bench_scale(0.12), max_iterations=15),
+        rounds=1, iterations=1,
+    )
+    emit(table, "fig3c_uk2002.csv")
+    last = table.rows[-1]
+    _, serial, skew, bal = last
+    # balanced coloring preserves (here: matches) final quality
+    assert bal >= serial - 0.05
+    assert abs(bal - skew) < 0.1

@@ -1,0 +1,45 @@
+"""Extension bench: multicolor Gauss-Seidel under skewed vs balanced coloring.
+
+Not a paper table — this exercises the *other* application class the paper
+motivates (Sec. II-B: parallel sparse matrix computations) with the same
+skewed-vs-balanced comparison as Table VII.
+"""
+
+from repro.coloring import greedy_coloring
+from repro.experiments import Table
+from repro.graph import load_dataset
+from repro.machine import estimate_time, tilegx36
+from repro.parallel import parallel_shuffle_balance
+from repro.solver import jacobi, laplacian_system, multicolor_gauss_seidel, sweep_trace
+
+from conftest import bench_scale
+
+
+def _run():
+    machine = tilegx36()
+    t = Table(
+        "Extension — multicolor Gauss-Seidel sweeps (Tilera model)",
+        ["input", "C", "jacobi_sweeps", "gs_sweeps",
+         "sweep_skew(us)@16", "sweep_bal(us)@16", "ratio"],
+    )
+    for name in ("cnr", "uk2002"):
+        g = load_dataset(name, scale=bench_scale(), seed=0)
+        system = laplacian_system(g, seed=0)
+        init = greedy_coloring(g)
+        bal = parallel_shuffle_balance(g, init, num_threads=16)
+        jac = jacobi(system, tol=1e-8)
+        gs = multicolor_gauss_seidel(system, init, tol=1e-8)
+        ts = estimate_time(sweep_trace(system, init, num_threads=16), machine).total_s
+        tb = estimate_time(sweep_trace(system, bal, num_threads=16), machine).total_s
+        t.add(name, init.num_colors, jac.sweeps, gs.sweeps,
+              round(ts * 1e6, 1), round(tb * 1e6, 1), round(ts / tb, 2))
+    return t
+
+
+def test_solver_app(benchmark, emit):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(table, "solver_app.csv")
+    for row in table.rows:
+        name, C, jac_sweeps, gs_sweeps, ts, tb, ratio = row
+        assert gs_sweeps < jac_sweeps  # Gauss-Seidel beats Jacobi
+        assert ratio >= 0.95  # balance never hurts the modeled sweep much

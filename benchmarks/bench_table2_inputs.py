@@ -1,0 +1,17 @@
+"""Table II: input graph statistics (the six dataset stand-ins)."""
+
+from repro.experiments import table2_inputs
+
+from conftest import bench_scale
+
+
+def test_table2_inputs(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table2_inputs(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "table2_inputs.csv")
+    assert len(table.rows) == 6
+    # degree regimes the experiments rely on
+    stats = {row[0]: row for row in table.rows}
+    assert stats["europe_osm"][4] < 3  # road network avg degree ~2
+    assert stats["channel"][3] == 18  # 18-point stencil max degree

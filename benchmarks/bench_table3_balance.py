@@ -1,0 +1,26 @@
+"""Table III: balance quality of every strategy on every input."""
+
+from repro.experiments import table3_balance
+
+from conftest import bench_scale
+
+
+def _rsd(cell: str) -> float:
+    return float(cell.split("%")[0])
+
+
+def test_table3_balance(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table3_balance(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "table3_balance.csv")
+    assert len(table.rows) == 6
+    for row in table.rows:
+        name, ff, vff, clu, sched = row[0], row[1], row[2], row[3], row[4]
+        # VFF and CLU must crush the FF skew (paper: hundreds of % -> ~0%)
+        assert _rsd(vff) < _rsd(ff)
+        assert _rsd(clu) < _rsd(ff)
+        assert _rsd(vff) < 20.0
+        assert _rsd(clu) < 20.0
+        # Sched-Rev lands in between
+        assert _rsd(sched) <= _rsd(ff)

@@ -1,0 +1,20 @@
+"""Table IV: VFF balancing time vs threads on the Tilera model."""
+
+from repro.experiments import table4_tilera
+
+from conftest import bench_scale
+
+
+def test_table4_tilera(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table4_tilera(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "table4_tilera.csv")
+    for row in table.rows:
+        name, times = row[0], row[1:]
+        # every input gets faster from 1 to 16 threads on the mesh machine
+        assert times[4] < times[0], name
+    by_name = {r[0]: r[1:] for r in table.rows}
+    # many-color inputs keep scaling to 32+; channel saturates early
+    assert by_name["mg2"][5] < by_name["mg2"][3]
+    assert by_name["uk2002"][5] < by_name["uk2002"][3]

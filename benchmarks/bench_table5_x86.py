@@ -1,0 +1,19 @@
+"""Table V: VFF balancing time vs threads on the x86 model."""
+
+from repro.experiments import table5_x86
+
+from conftest import bench_scale
+
+
+def test_table5_x86(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table5_x86(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "table5_x86.csv")
+    by_name = {r[0]: r[1:] for r in table.rows}
+    # channel (12 colors): more threads eventually make things WORSE
+    ch = by_name["channel"]
+    assert ch[-1] > min(ch)
+    # nothing on this machine scales anywhere near linearly 2 -> 32
+    for name, times in by_name.items():
+        assert times[0] / times[-1] < 8.0, name

@@ -1,0 +1,54 @@
+"""Table VI: VFF vs Sched-Rev vs Recoloring on 16 Tilera threads."""
+
+from repro.experiments import table6_schemes
+
+from conftest import bench_scale
+
+
+def test_table6_schemes(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table6_schemes(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(table, "table6_schemes.csv")
+    for row in table.rows:
+        name, vff, sched, rec, ratio = row
+        # Sched-Rev is the fastest scheme on every input (paper: ~2x vs VFF)
+        assert sched < vff, name
+        assert sched < rec, name
+        assert 1.0 < ratio < 20.0
+
+
+def test_x86_sched_vs_vff_claim(benchmark, emit):
+    """Sec. VI-C: 'Sched-Rev to be 8x or more faster than VFF on all
+    inputs tested' on the x86 architecture (vs ~2x on Tilera)."""
+    from repro.coloring import greedy_coloring
+    from repro.experiments import Table
+    from repro.graph import load_dataset
+    from repro.machine import xeon_x7560
+    from repro.machine.timing import scheme_comparison
+    from repro.parallel import parallel_scheduled_balance, parallel_shuffle_balance
+
+    def _run():
+        machine = xeon_x7560()
+        t = Table(
+            "Sec. VI-C — Sched-Rev vs VFF on x86 (16 threads, model ms)",
+            ["input", "vff", "sched-rev", "ratio"],
+        )
+        for name in ("channel", "uk2002", "mg2"):
+            g = load_dataset(name, scale=bench_scale(), seed=0)
+            init = greedy_coloring(g)
+            times = scheme_comparison(
+                g, init,
+                {"vff": parallel_shuffle_balance,
+                 "sched-rev": parallel_scheduled_balance},
+                machine, 16,
+            )
+            t.add(name, round(times["vff"] * 1e3, 3),
+                  round(times["sched-rev"] * 1e3, 3),
+                  round(times["vff"] / times["sched-rev"], 1))
+        return t
+
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(table, "x86_sched_vs_vff.csv")
+    for row in table.rows:
+        assert row[3] >= 8.0, row[0]  # the paper's '8x or more'

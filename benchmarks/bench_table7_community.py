@@ -1,0 +1,21 @@
+"""Table VII: end-to-end community detection with/without balanced coloring."""
+
+from repro.experiments import table7_community
+
+from conftest import bench_scale
+
+
+def test_table7_community(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table7_community(scale=bench_scale(0.15), max_iterations=25),
+        rounds=1, iterations=1,
+    )
+    emit(table, "table7_community.csv")
+    assert len(table.rows) == 5
+    savings = dict(zip(table.column("input"), table.column("savings%")))
+    # balancing pays off end-to-end on the many-color web/bio inputs
+    assert savings["uk2002"] > 0 or savings["mg2"] > 0
+    for row in table.rows:
+        q_skew, q_bal = row[3], row[6]
+        # quality is preserved (paper: agreement to ~3 decimals)
+        assert abs(q_skew - q_bal) < 0.1, row[0]

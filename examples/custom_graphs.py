@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Working with your own graphs: I/O, baselines, and the extension toolbox.
+
+Builds a graph from an edge list, round-trips it through MatrixMarket,
+then runs the full menu on it: Greedy-FF, the paper's guided balancers,
+the Jones-Plassmann prior-art baseline, Kempe-chain rebalancing, and a
+distance-2 coloring for Jacobian-style applications.
+
+    python examples/custom_graphs.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.coloring import (
+    assert_distance2_proper,
+    balance_report,
+    color_and_balance,
+    greedy_coloring,
+    greedy_distance2,
+    jones_plassmann,
+    kempe_balance,
+)
+from repro.graph import clique_overlay_graph, rmat_graph
+from repro.graph.io import read_matrix_market, write_matrix_market
+
+
+def main() -> None:
+    # any graph source works: edge lists, scipy matrices, networkx, or the
+    # built-in generators; here a small synthetic social-network-like graph
+    base = rmat_graph(11, 8.0, seed=7)
+    graph = clique_overlay_graph(base.num_vertices, 60, min_size=4,
+                                 max_size=25, base=base, seed=8)
+    print(f"graph: {graph}")
+
+    # MatrixMarket round trip (the UFl collection format the paper uses)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "graph.mtx"
+        write_matrix_market(graph, path)
+        again = read_matrix_market(path)
+        assert again == graph
+        print(f"MatrixMarket round trip OK ({path.stat().st_size} bytes)")
+
+    rows = []
+    init = greedy_coloring(graph)
+    rows.append(("greedy-ff (baseline)", init))
+    rows.append(("jones-plassmann (prior art)", jones_plassmann(graph, seed=0)))
+    rows.append(("jp-lu (GJP balanced)", jones_plassmann(graph, choice="lu", seed=0)))
+    rows.append(("vff (paper)", color_and_balance(graph, "vff")))
+    rows.append(("clu (paper)", color_and_balance(graph, "clu")))
+    rows.append(("kempe (extension)", kempe_balance(graph, init)))
+
+    print(f"\n{'scheme':<30} {'colors':>7} {'RSD %':>8}")
+    for name, coloring in rows:
+        r = balance_report(coloring)
+        print(f"{name:<30} {r.num_colors:>7} {r.rsd_percent:>8.2f}")
+
+    d2 = greedy_distance2(graph, choice="lu")
+    assert_distance2_proper(graph, d2)
+    print(f"\ndistance-2 (balanced LU): {d2.num_colors} colors, "
+          f"RSD {balance_report(d2).rsd_percent:.2f}% — every two-hop pair "
+          "distinct (Jacobian compression ready)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Tilera-vs-x86 study: why the manycore wins on balancing (Tables IV-VI).
+
+Sweeps the VFF balancer across thread counts on both machine models,
+prints run times, speedups, and the cost breakdown that explains them.
+
+    python examples/machine_comparison.py [dataset] [scale]
+"""
+
+import sys
+
+from repro.coloring import greedy_coloring
+from repro.graph import load_dataset
+from repro.machine import estimate_time, tilegx36, xeon_x7560
+from repro.machine.timing import speedups, thread_sweep
+from repro.parallel import parallel_scheduled_balance, parallel_shuffle_balance
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "uk2002"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    graph = load_dataset(name, scale=scale, seed=0)
+    init = greedy_coloring(graph)
+    print(f"graph: {graph}, initial coloring: {init.num_colors} colors")
+
+    for machine, threads in ((tilegx36(), [1, 2, 4, 8, 16, 32, 36]),
+                             (xeon_x7560(), [2, 4, 8, 16, 32])):
+        sweep = thread_sweep(graph, init, parallel_shuffle_balance, machine, threads)
+        print(f"\n{machine.name} — VFF balancing:")
+        print(f"  {'threads':>8} {'time(ms)':>10} {'speedup':>8}")
+        for p, t, s in zip(sweep.threads, sweep.times_s, speedups(sweep)):
+            print(f"  {p:>8} {t * 1e3:>10.3f} {s:>8.1f}x")
+
+    # where does the time go? price the same 16-thread trace on both machines
+    vff = parallel_shuffle_balance(graph, init, num_threads=16)
+    sched = parallel_scheduled_balance(graph, init, num_threads=16)
+    print("\ncost breakdown at 16 threads (ms):")
+    print(f"  {'machine':>10} {'scheme':>10} {'work':>8} {'atomics':>8} "
+          f"{'reads':>8} {'barrier':>8} {'serial':>8} {'total':>8}")
+    for machine in (tilegx36(), xeon_x7560()):
+        for label, coloring in (("vff", vff), ("sched-rev", sched)):
+            bd = estimate_time(coloring.meta["trace"], machine)
+            print(f"  {machine.name:>10} {label:>10} {bd.work_s * 1e3:>8.3f} "
+                  f"{bd.atomic_s * 1e3:>8.3f} {bd.shared_read_s * 1e3:>8.3f} "
+                  f"{bd.barrier_s * 1e3:>8.3f} {bd.serial_s * 1e3:>8.3f} "
+                  f"{bd.total_s * 1e3:>8.3f}")
+    print("\nSched-Rev's advantage is the empty atomics/reads columns — on "
+          "x86 those coherence costs dominate VFF; on the Tilera mesh they "
+          "are cheap, so the gap shrinks to ~2x (the paper's observation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Multicolor Gauss–Seidel: the paper's other motivating workload.
+
+Parallel sparse solvers update unknowns color class by color class (rows
+in one class don't couple).  This example solves a diagonally dominant
+Laplacian system three ways — Jacobi, Gauss–Seidel under the skewed
+Greedy-FF coloring, and Gauss–Seidel under a VFF-balanced coloring — and
+prices one colored sweep on the Tilera model under both colorings.
+
+    python examples/sparse_solver.py [dataset] [scale]
+"""
+
+import sys
+
+from repro.coloring import balance_report, greedy_coloring
+from repro.graph import load_dataset
+from repro.machine import estimate_time, tilegx36
+from repro.parallel import parallel_shuffle_balance
+from repro.solver import jacobi, laplacian_system, multicolor_gauss_seidel, sweep_trace
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cnr"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    graph = load_dataset(name, scale=scale, seed=0)
+    system = laplacian_system(graph, seed=0)
+    print(f"system: n={system.size}, nnz={system.matrix.nnz}")
+
+    init = greedy_coloring(graph)
+    balanced = parallel_shuffle_balance(graph, init, num_threads=16)
+    print(f"coloring: C={init.num_colors}, RSD "
+          f"{balance_report(init).rsd_percent:.0f}% -> "
+          f"{balance_report(balanced).rsd_percent:.2f}% after VFF")
+
+    jac = jacobi(system, tol=1e-8)
+    gs_skew = multicolor_gauss_seidel(system, init, tol=1e-8)
+    gs_bal = multicolor_gauss_seidel(system, balanced, tol=1e-8)
+    print(f"\nconvergence to 1e-8:")
+    print(f"  Jacobi                 {jac.sweeps:4d} sweeps")
+    print(f"  GS, skewed coloring    {gs_skew.sweeps:4d} sweeps")
+    print(f"  GS, balanced coloring  {gs_bal.sweeps:4d} sweeps")
+
+    machine = tilegx36()
+    print(f"\nmodeled cost of ONE colored sweep on {machine.name}:")
+    print(f"  {'threads':>8} {'skewed(us)':>12} {'balanced(us)':>13} {'speedup':>8}")
+    for p in (4, 8, 16, 36):
+        ts = estimate_time(sweep_trace(system, init, num_threads=p), machine).total_s
+        tb = estimate_time(sweep_trace(system, balanced, num_threads=p), machine).total_s
+        print(f"  {p:>8} {ts * 1e6:>12.1f} {tb * 1e6:>13.1f} {ts / tb:>7.2f}x")
+    print("\nConvergence is unchanged (same Gauss-Seidel math, different "
+          "update order); balance buys back the parallel-step efficiency "
+          "lost to tiny color classes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — Balanced graph coloring for parallel computing applications.
+
+A from-scratch Python reproduction of Lu, Halappanavar, Chavarría-Miranda,
+Gebremedhin & Kalyanaraman, *Balanced Coloring for Parallel Computing
+Applications*, IPDPS 2015.
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph substrate, generators, dataset stand-ins.
+``repro.coloring``
+    Sequential balanced-coloring strategies (the paper's Table I).
+``repro.parallel``
+    Tick-synchronous simulated shared-memory engine and the parallel
+    variants of every strategy (Algorithms 2–5), plus a real
+    multiprocessing backend.
+``repro.machine``
+    Analytic machine models (4-socket Xeon, Tilera TileGx36 with a 2-D
+    mesh NoC) that price execution traces into estimated run times.
+``repro.community``
+    Louvain community detection (Grappolo-style), the paper's motivating
+    application.
+``repro.experiments``
+    Harness regenerating every table and figure of the evaluation.
+"""
+
+from .graph import CSRGraph, load_dataset
+from .coloring import (
+    Coloring,
+    balance_coloring,
+    balance_report,
+    color_and_balance,
+    greedy_coloring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "load_dataset",
+    "Coloring",
+    "greedy_coloring",
+    "balance_coloring",
+    "color_and_balance",
+    "balance_report",
+    "__version__",
+]

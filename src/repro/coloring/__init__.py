@@ -1,0 +1,65 @@
+"""Balanced graph coloring: the paper's primary contribution.
+
+Sequential reference implementations of every strategy in Table I of the
+paper live here; their parallel (superstep) counterparts are in
+:mod:`repro.parallel`.
+
+Quick use::
+
+    from repro.graph import load_dataset
+    from repro.coloring import greedy_coloring, balance_coloring, balance_report
+
+    g = load_dataset("cnr", scale=0.2)
+    initial = greedy_coloring(g)                  # Greedy-FF
+    balanced = balance_coloring(g, initial, "vff")
+    print(balance_report(balanced).rsd_percent)
+"""
+
+from .types import Coloring
+from .greedy import greedy_coloring
+from .balance import (
+    BalanceReport,
+    balance_report,
+    class_sizes,
+    gamma,
+    overfull_bins,
+    relative_std_dev,
+    underfull_bins,
+)
+from .verify import assert_proper, count_conflicts, is_proper
+from .shuffled import shuffle_balance
+from .scheduled import scheduled_balance, plan_moves
+from .recolor import balanced_recoloring, iterated_greedy
+from .strategies import STRATEGIES, balance_coloring, color_and_balance
+from .jp import jones_plassmann
+from .kempe import kempe_balance, kempe_chains
+from .distance2 import assert_distance2_proper, greedy_distance2, is_distance2_proper
+
+__all__ = [
+    "Coloring",
+    "greedy_coloring",
+    "BalanceReport",
+    "balance_report",
+    "class_sizes",
+    "gamma",
+    "relative_std_dev",
+    "overfull_bins",
+    "underfull_bins",
+    "is_proper",
+    "assert_proper",
+    "count_conflicts",
+    "shuffle_balance",
+    "scheduled_balance",
+    "plan_moves",
+    "balanced_recoloring",
+    "iterated_greedy",
+    "STRATEGIES",
+    "balance_coloring",
+    "color_and_balance",
+    "jones_plassmann",
+    "kempe_balance",
+    "kempe_chains",
+    "greedy_distance2",
+    "is_distance2_proper",
+    "assert_distance2_proper",
+]

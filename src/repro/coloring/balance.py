@@ -1,0 +1,121 @@
+"""Balance accounting: γ, over/under-full bins, and the RSD metric.
+
+The paper measures balance as the Relative Standard Deviation (RSD) of the
+color-class sizes, in percent: ``100 * std(sizes) / mean(sizes)`` (Table
+III; lower is better, 0% is perfectly balanced).  All guided strategies are
+steered by ``γ = |V| / C``: bins larger than γ are *over-full*, bins
+smaller than γ are *under-full*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .types import Coloring
+
+__all__ = [
+    "gamma",
+    "class_sizes",
+    "relative_std_dev",
+    "overfull_bins",
+    "underfull_bins",
+    "is_equitable",
+    "size_spread",
+    "BalanceReport",
+    "balance_report",
+]
+
+
+def gamma(num_vertices: int, num_colors: int) -> float:
+    """Target class size γ = |V| / C (fractional, per the paper)."""
+    if num_colors <= 0:
+        raise ValueError(f"num_colors must be positive, got {num_colors}")
+    if num_vertices < 0:
+        raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
+    return num_vertices / num_colors
+
+
+def class_sizes(coloring: Coloring) -> np.ndarray:
+    """Sizes of all color classes (alias of ``coloring.class_sizes``)."""
+    return coloring.class_sizes()
+
+
+def relative_std_dev(sizes: np.ndarray) -> float:
+    """RSD of class sizes in percent; 0.0 for a single class or empty input.
+
+    Uses the population standard deviation, matching the convention of
+    reporting the dispersion of the realized class sizes themselves.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if sizes.size == 0:
+        return 0.0
+    mean = sizes.mean()
+    if mean == 0:
+        return 0.0
+    return float(100.0 * sizes.std() / mean)
+
+
+def overfull_bins(sizes: np.ndarray, target: float) -> np.ndarray:
+    """Indices of bins with size strictly greater than *target* (γ)."""
+    return np.nonzero(np.asarray(sizes) > target)[0]
+
+
+def underfull_bins(sizes: np.ndarray, target: float) -> np.ndarray:
+    """Indices of bins with size strictly less than *target* (γ)."""
+    return np.nonzero(np.asarray(sizes) < target)[0]
+
+
+def size_spread(coloring: Coloring) -> int:
+    """Largest minus smallest class size (0 for at most one class)."""
+    sizes = coloring.class_sizes()
+    if sizes.size == 0:
+        return 0
+    return int(sizes.max() - sizes.min())
+
+
+def is_equitable(coloring: Coloring) -> bool:
+    """True iff the coloring is *equitable*: any two classes differ by ≤ 1.
+
+    This is the strict theoretical notion (Meyer 1973; Hajnal–Szemerédi
+    guarantee exists for k ≥ Δ+1) of which the paper's balanced coloring is
+    the practical relaxation.
+    """
+    return size_spread(coloring) <= 1
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Everything Table III reports about one coloring, plus extremes."""
+
+    strategy: str
+    num_vertices: int
+    num_colors: int
+    rsd_percent: float
+    gamma: float
+    min_class_size: int
+    max_class_size: int
+    num_overfull: int
+    num_underfull: int
+
+    def row(self) -> tuple:
+        """(strategy, RSD%, #colors) — the cells Table III prints."""
+        return (self.strategy, round(self.rsd_percent, 2), self.num_colors)
+
+
+def balance_report(coloring: Coloring) -> BalanceReport:
+    """Compute a :class:`BalanceReport` for *coloring*."""
+    sizes = coloring.class_sizes()
+    g = gamma(coloring.num_vertices, coloring.num_colors) if coloring.num_colors else 0.0
+    return BalanceReport(
+        strategy=coloring.strategy,
+        num_vertices=coloring.num_vertices,
+        num_colors=coloring.num_colors,
+        rsd_percent=relative_std_dev(sizes),
+        gamma=g,
+        min_class_size=int(sizes.min()) if sizes.size else 0,
+        max_class_size=int(sizes.max(initial=0)),
+        num_overfull=int(overfull_bins(sizes, g).shape[0]),
+        num_underfull=int(underfull_bins(sizes, g).shape[0]),
+    )

@@ -1,0 +1,140 @@
+"""Sequential Greedy coloring (Algorithm 1 of the paper).
+
+One sweep over the vertices in a chosen order; each vertex receives a color
+not used by any neighbor, where the *choice rule* distinguishes the
+variants studied in the paper:
+
+- ``"ff"`` — First-Fit: the smallest permissible color.  Bounded by Δ+1
+  colors for any order, K+1 for the smallest-last order.  Produces the
+  heavily skewed class sizes that motivate balancing (Fig. 1a).
+- ``"lu"`` — Least-Used (ab initio *Greedy-LU*): the permissible color with
+  the smallest current class among colors opened so far; a new color is
+  opened only when no existing color is permissible.
+- ``"random"`` — ab initio *Greedy-Random*: a uniform choice among
+  permissible colors within a fixed palette of ``B = Δ + 1`` colors.
+
+The inner loop follows the classic O(n + m) "stamping" scheme: a scratch
+array ``forbidden`` records, per color, the id of the last vertex that saw
+that color on a neighbor, so clearing between vertices is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.orderings import vertex_order
+from ..util import as_rng
+from .types import Coloring
+
+__all__ = ["greedy_coloring"]
+
+_CHOICES = ("ff", "lu", "random")
+
+
+def greedy_coloring(
+    graph: CSRGraph,
+    *,
+    choice: str = "ff",
+    ordering: str | np.ndarray = "natural",
+    seed=None,
+    palette_bound: int | None = None,
+) -> Coloring:
+    """Color *graph* with Algorithm 1 and the given color-choice rule.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    choice:
+        ``"ff"``, ``"lu"``, or ``"random"`` (see module docstring).
+    ordering:
+        Name of a vertex ordering (see :func:`repro.graph.vertex_order`) or
+        an explicit permutation array.
+    seed:
+        RNG seed used by ``"random"`` choice and the ``"random"`` ordering.
+    palette_bound:
+        Palette size ``B`` for ``"random"`` choice; defaults to ``Δ + 1``
+        (the paper's easy-to-compute bound).  Tighter bounds are allowed —
+        e.g. the Greedy-FF color count, which reproduces the paper's
+        reported Greedy-Random color counts — and when a vertex finds no
+        permissible color within B it falls back to the smallest
+        permissible color beyond B (so the coloring always completes).
+
+    Returns
+    -------
+    Coloring
+        A proper coloring; ``strategy`` is ``greedy-<choice>``.
+    """
+    if choice not in _CHOICES:
+        raise ValueError(f"choice must be one of {_CHOICES}, got {choice!r}")
+    n = graph.num_vertices
+    if isinstance(ordering, str):
+        order = vertex_order(graph, ordering, seed=seed)
+    else:
+        order = np.asarray(ordering, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(n)):
+            raise ValueError("ordering must be a permutation of all vertices")
+
+    rng = as_rng(seed) if choice == "random" else None
+    max_deg = graph.max_degree
+    if choice == "random":
+        bound = palette_bound if palette_bound is not None else max_deg + 1
+        if bound < 1:
+            raise ValueError(f"palette_bound must be >= 1, got {bound}")
+    else:
+        bound = max_deg + 1
+
+    colors = np.full(n, -1, dtype=np.int64)
+    # overflow headroom past the palette: random choice with a tight bound
+    # may need the smallest permissible color beyond B
+    limit = bound + max_deg + 2
+    sizes = np.zeros(limit, dtype=np.int64)
+    forbidden = np.full(limit, -1, dtype=np.int64)  # stamp = current vertex
+    indptr, indices = graph.indptr, graph.indices
+    num_colors = 0
+
+    for v in order:
+        v = int(v)
+        nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
+        nbr_colors = nbr_colors[nbr_colors >= 0]
+        forbidden[nbr_colors] = v
+
+        if choice == "ff":
+            # smallest index whose stamp is not v; search window deg(v)+1
+            window = forbidden[: nbr_colors.shape[0] + 1]
+            k = int(np.argmax(window != v)) if window.shape[0] else 0
+            # argmax returns 0 even when nothing matches; guard that case
+            if window.shape[0] and window[k] == v:  # pragma: no cover - unreachable
+                k = nbr_colors.shape[0]
+        elif choice == "lu":
+            if num_colors == 0:
+                k = 0
+            else:
+                open_mask = forbidden[:num_colors] != v
+                if open_mask.any():
+                    permissible = np.nonzero(open_mask)[0]
+                    k = int(permissible[np.argmin(sizes[permissible])])
+                else:
+                    k = num_colors  # open a new color
+        else:  # random
+            open_mask = forbidden[:bound] != v
+            permissible = np.nonzero(open_mask)[0]
+            if permissible.shape[0]:
+                k = int(permissible[rng.integers(permissible.shape[0])])
+            else:
+                # palette exhausted: smallest permissible color beyond B
+                window = forbidden[bound : bound + nbr_colors.shape[0] + 1]
+                k = bound + int(np.argmax(window != v))
+
+        colors[v] = k
+        sizes[k] += 1
+        if k >= num_colors:
+            num_colors = k + 1
+
+    return Coloring(
+        colors,
+        num_colors,
+        strategy=f"greedy-{choice}",
+        meta={"ordering": ordering if isinstance(ordering, str) else "explicit"},
+    )

@@ -1,0 +1,153 @@
+"""Strategy registry: one name per row of the paper's Table I.
+
+:func:`balance_coloring` dispatches a guided strategy on an existing
+initial coloring; :func:`color_and_balance` is the one-call front door that
+also produces the initial coloring (Greedy-FF by default, as in the paper)
+or runs an ab initio strategy directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graph.csr import CSRGraph
+from .greedy import greedy_coloring
+from .kempe import kempe_balance
+from .recolor import balanced_recoloring
+from .scheduled import scheduled_balance
+from .shuffled import shuffle_balance
+from .types import Coloring
+
+__all__ = ["StrategySpec", "STRATEGIES", "balance_coloring", "color_and_balance"]
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One balancing strategy: its category and callable.
+
+    ``category`` is ``"ab_initio"`` (runs on the graph alone) or
+    ``"guided"`` (consumes an initial coloring).  ``same_color_count`` marks
+    the strategies guaranteed to preserve the initial C (VFF/VLU/CFF/CLU,
+    Sched-Rev/Fwd) versus those that may change it (Recoloring, ab initio).
+    """
+
+    name: str
+    category: str
+    same_color_count: bool
+    description: str
+    run: Callable[..., Coloring]
+
+
+def _ab_initio(choice: str):
+    def run(graph: CSRGraph, initial: Coloring | None = None, *, seed=None) -> Coloring:
+        return greedy_coloring(graph, choice=choice, seed=seed)
+
+    return run
+
+
+def _shuffled(choice: str, traversal: str):
+    def run(graph: CSRGraph, initial: Coloring, *, seed=None) -> Coloring:
+        return shuffle_balance(graph, initial, choice=choice, traversal=traversal)
+
+    return run
+
+
+def _scheduled(reverse: bool):
+    def run(graph: CSRGraph, initial: Coloring, *, seed=None, rounds: int = 1) -> Coloring:
+        return scheduled_balance(graph, initial, reverse=reverse, rounds=rounds)
+
+    return run
+
+
+def _recoloring(graph: CSRGraph, initial: Coloring, *, seed=None) -> Coloring:
+    return balanced_recoloring(graph, initial)
+
+
+def _kempe(graph: CSRGraph, initial: Coloring, *, seed=None, **kwargs) -> Coloring:
+    return kempe_balance(graph, initial, seed=seed, **kwargs)
+
+
+STRATEGIES: dict[str, StrategySpec] = {
+    "greedy-lu": StrategySpec(
+        "greedy-lu", "ab_initio", False,
+        "Algorithm 1 with Least-Used color choice", _ab_initio("lu"),
+    ),
+    "greedy-random": StrategySpec(
+        "greedy-random", "ab_initio", False,
+        "Algorithm 1 with Random color choice in palette B = Δ+1", _ab_initio("random"),
+    ),
+    "vff": StrategySpec(
+        "vff", "guided", True,
+        "Vertex-centric First-Fit unscheduled shuffling", _shuffled("ff", "vertex"),
+    ),
+    "vlu": StrategySpec(
+        "vlu", "guided", True,
+        "Vertex-centric Least-Used unscheduled shuffling", _shuffled("lu", "vertex"),
+    ),
+    "cff": StrategySpec(
+        "cff", "guided", True,
+        "Color-centric First-Fit unscheduled shuffling", _shuffled("ff", "color"),
+    ),
+    "clu": StrategySpec(
+        "clu", "guided", True,
+        "Color-centric Least-Used unscheduled shuffling", _shuffled("lu", "color"),
+    ),
+    "sched-rev": StrategySpec(
+        "sched-rev", "guided", True,
+        "Scheduled moves, under-full bins filled in reverse color order", _scheduled(True),
+    ),
+    "sched-fwd": StrategySpec(
+        "sched-fwd", "guided", True,
+        "Scheduled moves, forward fill order (ablation)", _scheduled(False),
+    ),
+    "recoloring": StrategySpec(
+        "recoloring", "guided", False,
+        "Reverse-class FF recoloring under capacity γ", _recoloring,
+    ),
+    "kempe": StrategySpec(
+        "kempe", "guided", True,
+        "Kempe-chain exchange rebalancing (extension)", _kempe,
+    ),
+}
+
+
+def balance_coloring(
+    graph: CSRGraph, initial: Coloring, strategy: str, *, seed=None, **kwargs
+) -> Coloring:
+    """Apply a guided balancing *strategy* to an initial coloring."""
+    spec = _lookup(strategy)
+    if spec.category != "guided":
+        raise ValueError(
+            f"{strategy!r} is ab initio; call color_and_balance or greedy_coloring"
+        )
+    return spec.run(graph, initial, seed=seed, **kwargs)
+
+
+def color_and_balance(
+    graph: CSRGraph,
+    strategy: str,
+    *,
+    seed=None,
+    ordering: str = "natural",
+    **kwargs,
+) -> Coloring:
+    """Run any Table-I strategy end to end.
+
+    Guided strategies get a Greedy-FF initial coloring first (the paper's
+    default pipeline); ab initio strategies run directly on the graph.
+    """
+    spec = _lookup(strategy)
+    if spec.category == "ab_initio":
+        return spec.run(graph, seed=seed, **kwargs)
+    initial = greedy_coloring(graph, choice="ff", ordering=ordering, seed=seed)
+    return spec.run(graph, initial, seed=seed, **kwargs)
+
+
+def _lookup(strategy: str) -> StrategySpec:
+    try:
+        return STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        ) from None

@@ -1,0 +1,69 @@
+"""The :class:`Coloring` value type shared by every coloring algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Coloring"]
+
+
+@dataclass(frozen=True)
+class Coloring:
+    """An assignment of colors (0-based ints) to vertices.
+
+    ``num_colors`` is the size of the palette the algorithm committed to —
+    always ``max(colors) + 1`` unless a strategy reserved empty trailing
+    bins (none of ours do).  ``meta`` carries strategy-specific annotations
+    (e.g. superstep counts from the parallel engine).
+
+    The paper's color indices are 1-based; everything here is 0-based, and
+    only the report formatting layer adds 1 for display.
+    """
+
+    colors: np.ndarray
+    num_colors: int
+    strategy: str = "unknown"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        colors = np.ascontiguousarray(self.colors, dtype=np.int64)
+        object.__setattr__(self, "colors", colors)
+        if colors.ndim != 1:
+            raise ValueError(f"colors must be 1-D, got shape {colors.shape}")
+        if colors.size:
+            cmin, cmax = int(colors.min()), int(colors.max())
+            if cmin < 0:
+                raise ValueError("colors must be non-negative (found uncolored vertex)")
+            if cmax >= self.num_colors:
+                raise ValueError(
+                    f"num_colors={self.num_colors} but a vertex has color {cmax}"
+                )
+        if self.num_colors < 0:
+            raise ValueError(f"num_colors must be >= 0, got {self.num_colors}")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of colored vertices."""
+        return self.colors.shape[0]
+
+    def class_sizes(self) -> np.ndarray:
+        """Size of each color class, length ``num_colors``."""
+        return np.bincount(self.colors, minlength=self.num_colors)
+
+    def color_class(self, c: int) -> np.ndarray:
+        """Vertices holding color *c*."""
+        if not 0 <= c < self.num_colors:
+            raise ValueError(f"color {c} out of range [0, {self.num_colors})")
+        return np.nonzero(self.colors == c)[0]
+
+    def with_meta(self, **kwargs) -> "Coloring":
+        """Copy with extra metadata merged in."""
+        return Coloring(self.colors, self.num_colors, self.strategy, {**self.meta, **kwargs})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coloring(n={self.num_vertices}, colors={self.num_colors}, "
+            f"strategy={self.strategy!r})"
+        )

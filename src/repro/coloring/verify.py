@@ -1,0 +1,70 @@
+"""Coloring validity checks.
+
+Used by the test-suite on every strategy's output and by the parallel
+engine's conflict-detection phase (the vectorized kernel here is the same
+computation Algorithm 2's "check for conflicts" loop performs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .types import Coloring
+
+__all__ = ["is_proper", "assert_proper", "count_conflicts", "conflicting_vertices"]
+
+
+def _color_array(coloring: Coloring | np.ndarray) -> np.ndarray:
+    if isinstance(coloring, Coloring):
+        return coloring.colors
+    return np.asarray(coloring, dtype=np.int64)
+
+
+def count_conflicts(graph: CSRGraph, coloring: Coloring | np.ndarray) -> int:
+    """Number of edges whose endpoints share a color (0 for proper)."""
+    colors = _color_array(coloring)
+    if colors.shape[0] != graph.num_vertices:
+        raise ValueError("coloring length does not match vertex count")
+    u, v = graph.edge_arrays()
+    return int(np.count_nonzero(colors[u] == colors[v]))
+
+
+def is_proper(graph: CSRGraph, coloring: Coloring | np.ndarray) -> bool:
+    """True iff no edge is monochromatic and every vertex is colored."""
+    colors = _color_array(coloring)
+    if colors.size and colors.min() < 0:
+        return False
+    return count_conflicts(graph, coloring) == 0
+
+
+def assert_proper(graph: CSRGraph, coloring: Coloring | np.ndarray) -> None:
+    """Raise ``AssertionError`` naming a violating edge if improper."""
+    colors = _color_array(coloring)
+    if colors.shape[0] != graph.num_vertices:
+        raise AssertionError(
+            f"coloring covers {colors.shape[0]} vertices, graph has {graph.num_vertices}"
+        )
+    if colors.size and colors.min() < 0:
+        v = int(np.argmin(colors))
+        raise AssertionError(f"vertex {v} is uncolored")
+    u, v = graph.edge_arrays()
+    bad = np.nonzero(colors[u] == colors[v])[0]
+    if bad.size:
+        i = int(bad[0])
+        raise AssertionError(
+            f"edge ({int(u[i])}, {int(v[i])}) is monochromatic with color {int(colors[u[i]])}"
+            f" ({bad.size} conflicting edges total)"
+        )
+
+
+def conflicting_vertices(graph: CSRGraph, colors: np.ndarray) -> np.ndarray:
+    """Vertices that lose the paper's tie-break on a monochromatic edge.
+
+    Algorithm 2/5 re-process the *higher-id* endpoint of each conflict
+    (``color[w] == color[v] and v > w``); this returns exactly that set,
+    vectorized over all edges.
+    """
+    u, v = graph.edge_arrays()  # u < v by construction
+    mask = colors[u] == colors[v]
+    return np.unique(v[mask])

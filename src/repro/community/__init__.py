@@ -1,0 +1,37 @@
+"""Community detection: the paper's motivating application (Sec. II-C, VI-D).
+
+A full Louvain implementation in the style of the authors' *Grappolo*
+suite: modularity-maximizing vertex moves, multi-phase graph aggregation,
+and three parallel execution modes that Fig. 1b / Fig. 3c / Table VII
+compare —
+
+- ``serial``: classic sequential Louvain (the baseline curve);
+- ``parallel`` without coloring: every vertex decides its move per
+  superstep against racing, slightly stale community state;
+- ``parallel`` with coloring: color classes processed one at a time,
+  vertices within a class concurrently (classes are independent sets, so
+  neighbor information is never stale).  A *balanced* coloring keeps every
+  class step wide enough to use all the simulated threads — the paper's
+  reason for wanting balance in the first place.
+"""
+
+from .wgraph import WeightedGraph, aggregate
+from .modularity import modularity, community_sizes
+from .louvain import LouvainResult, louvain, louvain_phase
+from .parallel import ParallelLouvainResult, parallel_louvain_phase, parallel_louvain
+from .pipeline import CommunityPipelineResult, run_pipeline
+
+__all__ = [
+    "WeightedGraph",
+    "aggregate",
+    "modularity",
+    "community_sizes",
+    "louvain",
+    "louvain_phase",
+    "LouvainResult",
+    "parallel_louvain",
+    "parallel_louvain_phase",
+    "ParallelLouvainResult",
+    "run_pipeline",
+    "CommunityPipelineResult",
+]

@@ -1,0 +1,100 @@
+"""End-to-end pipeline: color → (optionally) balance → detect communities.
+
+This is the Table VII experiment: for one input graph, run Grappolo-style
+community detection twice — once steered by the skewed Greedy-FF coloring
+and once by a VFF-balanced coloring — and compare modeled run times (on
+36 Tilera threads, as in the paper) plus final modularity.  Initial
+coloring time, balancing time, and detection time are reported separately,
+exactly like the paper's columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+from ..machine.model import MachineModel, estimate_time
+from ..parallel.greedy import parallel_greedy_ff
+from ..parallel.shuffled import parallel_shuffle_balance
+from .parallel import parallel_louvain
+
+__all__ = ["CommunityPipelineResult", "run_pipeline"]
+
+
+@dataclass(frozen=True)
+class CommunityPipelineResult:
+    """One row of Table VII (both modes for one input)."""
+
+    input_name: str
+    init_coloring_s: float
+    detection_skewed_s: float
+    modularity_skewed: float
+    balancing_s: float
+    detection_balanced_s: float
+    modularity_balanced: float
+
+    @property
+    def total_skewed_s(self) -> float:
+        """End-to-end seconds without balancing (init + detection)."""
+        return self.init_coloring_s + self.detection_skewed_s
+
+    @property
+    def total_balanced_s(self) -> float:
+        """End-to-end seconds with balancing (init + VFF + detection)."""
+        return self.init_coloring_s + self.balancing_s + self.detection_balanced_s
+
+    @property
+    def savings_percent(self) -> float:
+        """End-to-end time saved by balancing (positive = faster)."""
+        if self.total_skewed_s == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_balanced_s / self.total_skewed_s)
+
+
+def run_pipeline(
+    graph: CSRGraph,
+    machine: MachineModel,
+    *,
+    num_threads: int = 36,
+    input_name: str = "",
+    balance_choice: str = "ff",
+    threshold: float = 1e-6,
+    max_iterations: int = 100,
+    max_phases: int = 20,
+) -> CommunityPipelineResult:
+    """Run the full Table VII comparison for one input.
+
+    ``num_threads`` applies to every stage (the paper uses all 36 Tilera
+    threads).  ``balance_choice`` selects VFF (default) or VLU.
+    """
+    p = min(num_threads, machine.num_cores)
+
+    init = parallel_greedy_ff(graph, num_threads=p)
+    init_s = estimate_time(init.meta["trace"], machine).total_s
+
+    balanced = parallel_shuffle_balance(
+        graph, init, choice=balance_choice, traversal="vertex", num_threads=p
+    )
+    balance_s = estimate_time(balanced.meta["trace"], machine).total_s
+
+    skew_run = parallel_louvain(
+        graph, num_threads=p, coloring=init,
+        threshold=threshold, max_iterations=max_iterations, max_phases=max_phases,
+    )
+    skew_s = estimate_time(skew_run.trace, machine).total_s
+
+    bal_run = parallel_louvain(
+        graph, num_threads=p, coloring=balanced,
+        threshold=threshold, max_iterations=max_iterations, max_phases=max_phases,
+    )
+    bal_s = estimate_time(bal_run.trace, machine).total_s
+
+    return CommunityPipelineResult(
+        input_name=input_name,
+        init_coloring_s=init_s,
+        detection_skewed_s=skew_s,
+        modularity_skewed=skew_run.modularity,
+        balancing_s=balance_s,
+        detection_balanced_s=bal_s,
+        modularity_balanced=bal_run.modularity,
+    )

@@ -1,0 +1,140 @@
+"""Weighted graphs for Louvain's aggregation phases.
+
+Phase 1 of Louvain runs on the plain input graph (unit weights); every
+later phase runs on an *aggregated* graph whose vertices are the previous
+phase's communities.  Aggregated graphs carry edge weights and self-loops
+(the internal weight of each community), which :class:`repro.graph.CSRGraph`
+deliberately forbids — so the community package has its own small weighted
+structure.  Self-loop weight is stored separately per vertex; by the usual
+convention a self-loop of weight *s* contributes ``2s`` to its vertex's
+strength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["WeightedGraph", "aggregate"]
+
+
+class WeightedGraph:
+    """Undirected weighted graph in CSR form plus per-vertex self-loops."""
+
+    __slots__ = ("indptr", "indices", "weights", "self_weight", "_strength")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        self_weight: np.ndarray,
+        *,
+        validate: bool = True,
+    ):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.self_weight = np.ascontiguousarray(self_weight, dtype=np.float64)
+        self._strength: np.ndarray | None = None
+        if validate:
+            self.check()
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "WeightedGraph":
+        """Unit-weight view of a simple graph (phase-1 input)."""
+        return cls(
+            graph.indptr,
+            graph.indices,
+            np.ones(graph.indices.shape[0], dtype=np.float64),
+            np.zeros(graph.num_vertices, dtype=np.float64),
+        )
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.indptr.shape[0] - 1
+
+    @property
+    def strengths(self) -> np.ndarray:
+        """Weighted degree k_v = Σ_u w(v,u) + 2·self_weight[v] (cached)."""
+        if self._strength is None:
+            n = self.num_vertices
+            s = np.zeros(n, dtype=np.float64)
+            np.add.at(s, np.repeat(np.arange(n), np.diff(self.indptr)), self.weights)
+            s += 2.0 * self.self_weight
+            self._strength = s
+        return self._strength
+
+    @property
+    def total_weight(self) -> float:
+        """2m: the sum of all strengths (each edge counted twice)."""
+        return float(self.strengths.sum())
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, weights) of vertex *v*."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def check(self) -> None:
+        """Validate structural invariants; raise ``ValueError`` on violation."""
+        n = self.num_vertices
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr endpoints do not match indices length")
+        if self.weights.shape != self.indices.shape:
+            raise ValueError("weights must parallel indices")
+        if self.self_weight.shape[0] != n:
+            raise ValueError("self_weight must have one entry per vertex")
+        if self.indices.shape[0]:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise ValueError("indices out of range")
+        if np.any(self.weights < 0) or np.any(self.self_weight < 0):
+            raise ValueError("weights must be non-negative")
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        if np.any(src == self.indices):
+            raise ValueError("store self-loops in self_weight, not the adjacency")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightedGraph(n={self.num_vertices}, nnz={self.indices.shape[0]})"
+
+
+def aggregate(graph: WeightedGraph, communities: np.ndarray) -> tuple[WeightedGraph, np.ndarray]:
+    """Collapse *communities* into super-vertices (one Louvain phase change).
+
+    Returns ``(aggregated graph, relabel)`` where ``relabel[v]`` is the
+    dense new id of v's community.  Inter-community weights are summed;
+    intra-community weight (including old self-loops) becomes the new
+    vertices' self-loops.
+    """
+    n = graph.num_vertices
+    communities = np.asarray(communities, dtype=np.int64)
+    if communities.shape[0] != n:
+        raise ValueError("communities must label every vertex")
+    uniq, relabel = np.unique(communities, return_inverse=True)
+    k = uniq.shape[0]
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cu = relabel[src]
+    cv = relabel[graph.indices]
+
+    inter = cu != cv
+    keys = cu[inter] * k + cv[inter]
+    uk, inv = np.unique(keys, return_inverse=True)
+    wsum = np.zeros(uk.shape[0], dtype=np.float64)
+    np.add.at(wsum, inv, graph.weights[inter])
+    new_u, new_v = uk // k, uk % k
+
+    # intra weights: each undirected edge appears twice in the CSR, so the
+    # masked sum double-counts exactly into "per ordered pair"; self-loop
+    # weight s contributes s (old self-loops already stored once per vertex)
+    selfw = np.zeros(k, dtype=np.float64)
+    intra = ~inter
+    np.add.at(selfw, cu[intra], graph.weights[intra] / 2.0)
+    np.add.at(selfw, relabel, graph.self_weight)
+
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.add.at(indptr, new_u + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    # rows are already grouped because np.unique sorted the keys
+    return WeightedGraph(indptr, new_v, wsum, selfw), relabel

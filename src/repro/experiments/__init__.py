@@ -1,0 +1,46 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each ``table*``/``fig*`` function runs the relevant pipeline at a
+configurable ``scale`` and returns a :class:`~repro.experiments.harness.Table`
+(headers + rows + notes) that prints in the shape of the paper's artifact.
+The ``benchmarks/`` tree calls these functions one-to-one; see DESIGN.md §4
+for the experiment index.
+"""
+
+from .harness import Table, format_table
+from .tables import table2_inputs, table3_balance, table4_tilera, table5_x86, table6_schemes, table7_community
+from .figures import fig1a_ff_skew, fig1b_modularity, fig2_distributions, fig3ab_speedups, fig3c_uk2002
+from .ablations import (
+    ablation_color_all_phases,
+    ablation_conflicts_vs_threads,
+    ablation_iterated_greedy,
+    ablation_kempe,
+    ablation_orderings,
+    ablation_page_policy,
+    ablation_sched_fill_order,
+    ablation_work_balance,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "table2_inputs",
+    "table3_balance",
+    "table4_tilera",
+    "table5_x86",
+    "table6_schemes",
+    "table7_community",
+    "fig1a_ff_skew",
+    "fig1b_modularity",
+    "fig2_distributions",
+    "fig3ab_speedups",
+    "fig3c_uk2002",
+    "ablation_sched_fill_order",
+    "ablation_orderings",
+    "ablation_iterated_greedy",
+    "ablation_conflicts_vs_threads",
+    "ablation_kempe",
+    "ablation_page_policy",
+    "ablation_color_all_phases",
+    "ablation_work_balance",
+]

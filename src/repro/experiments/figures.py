@@ -1,0 +1,192 @@
+"""Drivers for the paper's figures (printed as data series, no plotting).
+
+Each function returns a :class:`Table` whose rows are the figure's series
+(one row per x-value), so the benchmark harness can print exactly what the
+paper plots; pipe the CSV into any plotting tool to draw the actual chart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coloring.greedy import greedy_coloring
+from ..coloring.recolor import balanced_recoloring
+from ..coloring.scheduled import scheduled_balance
+from ..coloring.shuffled import shuffle_balance
+from ..community.louvain import louvain_phase
+from ..community.parallel import parallel_louvain_phase
+from ..community.wgraph import WeightedGraph
+from ..graph.datasets import load_dataset
+from ..machine.timing import speedups, thread_sweep
+from ..machine.tilera import tilegx36
+from ..machine.x86 import xeon_x7560
+from ..parallel.shuffled import parallel_shuffle_balance
+from .harness import Table
+from .tables import PERF_INPUTS, TILERA_THREADS, X86_THREADS
+
+__all__ = [
+    "fig1a_ff_skew",
+    "fig1b_modularity",
+    "fig2_distributions",
+    "fig3ab_speedups",
+    "fig3c_uk2002",
+]
+
+
+def fig1a_ff_skew(*, scale: float = 0.25, seed: int = 0, max_bins: int = 60) -> Table:
+    """Fig. 1a: Greedy-FF color-class sizes on the uk-2002 stand-in.
+
+    Expected shape: sizes fall roughly geometrically with color index —
+    several orders of magnitude between the first and last bins — with the
+    average far below the early bins.
+    """
+    g = load_dataset("uk2002", scale=scale, seed=seed)
+    init = greedy_coloring(g)
+    sizes = init.class_sizes()
+    avg = float(sizes.mean())
+    t = Table(
+        "Fig. 1a — Greedy-FF color class sizes (uk2002 stand-in)",
+        ["color_bin", "size", "avg"],
+    )
+    step = max(1, sizes.shape[0] // max_bins)
+    for i in range(0, sizes.shape[0], step):
+        t.add(i, int(sizes[i]), round(avg, 1))
+    t.note(f"C={init.num_colors}, max/min class = {int(sizes.max())}/{int(sizes.min())}, "
+           f"RSD={100 * sizes.std() / sizes.mean():.0f}%")
+    return t
+
+
+def fig1b_modularity(
+    *, scale: float = 0.2, seed: int = 0, num_threads: int = 36, max_iterations: int = 25
+) -> Table:
+    """Fig. 1b: modularity vs iteration on CNR, four execution modes.
+
+    Expected shape: the two colored runs climb fastest and highest, serial
+    tracks slightly behind, and the no-coloring run starts far lower and
+    plateaus below the others.
+    """
+    g = load_dataset("cnr", scale=scale, seed=seed)
+    wg = WeightedGraph.from_csr(g)
+    init = greedy_coloring(g)
+    bal = parallel_shuffle_balance(g, init, num_threads=num_threads)
+
+    _, serial_hist = louvain_phase(wg, max_iterations=max_iterations)
+    _, nocol_hist, _ = parallel_louvain_phase(
+        wg, num_threads=num_threads, max_iterations=max_iterations)
+    _, skew_hist, _ = parallel_louvain_phase(
+        wg, num_threads=num_threads, coloring=init, max_iterations=max_iterations)
+    _, bal_hist, _ = parallel_louvain_phase(
+        wg, num_threads=num_threads, coloring=bal, max_iterations=max_iterations)
+
+    t = Table(
+        "Fig. 1b — modularity per iteration, CNR stand-in (phase 1)",
+        ["iteration", "serial", "wo_coloring", "w_coloring_skewed", "w_coloring_balanced"],
+    )
+    rows = max(len(serial_hist), len(nocol_hist), len(skew_hist), len(bal_hist))
+
+    def at(h, i):
+        return round(h[min(i, len(h) - 1)], 4) if h else 0.0
+
+    for i in range(rows):
+        t.add(i + 1, at(serial_hist, i), at(nocol_hist, i), at(skew_hist, i), at(bal_hist, i))
+    t.note("converged runs hold their final value on later rows")
+    return t
+
+
+def fig2_distributions(
+    *, input_name: str = "channel", scale: float = 0.25, seed: int = 0, max_bins: int = 40
+) -> Table:
+    """Fig. 2: color-class size distributions per balancing scheme.
+
+    Expected shape: greedy-ff strongly decreasing; vff/clu flat at γ;
+    sched-rev mostly flat with residual spread; recoloring / greedy-lu /
+    greedy-random flat-ish over *more* bins.
+    """
+    g = load_dataset(input_name, scale=scale, seed=seed)
+    init = greedy_coloring(g)
+    schemes = {
+        "greedy-ff": init,
+        "vff": shuffle_balance(g, init, choice="ff", traversal="vertex"),
+        "clu": shuffle_balance(g, init, choice="lu", traversal="color"),
+        "sched-rev": scheduled_balance(g, init),
+        "recoloring": balanced_recoloring(g, init),
+        "greedy-lu": greedy_coloring(g, choice="lu"),
+        "greedy-random": greedy_coloring(g, choice="random", seed=seed,
+                                         palette_bound=init.num_colors),
+    }
+    width = max(c.num_colors for c in schemes.values())
+    t = Table(
+        f"Fig. 2 — color class sizes per scheme ({input_name} stand-in)",
+        ["color_bin"] + list(schemes),
+    )
+    step = max(1, width // max_bins)
+    size_arrays = {
+        name: np.pad(c.class_sizes(), (0, width - c.num_colors))
+        for name, c in schemes.items()
+    }
+    for i in range(0, width, step):
+        t.add(i, *[int(size_arrays[name][i]) for name in schemes])
+    t.note("0 = bin beyond that scheme's color count")
+    return t
+
+
+def fig3ab_speedups(
+    *, scale: float = 0.25, seed: int = 0, inputs: tuple[str, ...] = PERF_INPUTS
+) -> tuple[Table, Table]:
+    """Fig. 3a/3b: VFF speedup curves on the Tilera and x86 models.
+
+    Expected shape: Tilera climbs across the full thread range with the
+    many-color inputs on top and channel saturating early; x86 flattens at
+    a socket or two and channel degrades outright.
+    """
+    til = Table("Fig. 3a — VFF speedup on Tilera (vs 1 thread)",
+                ["threads"] + list(inputs))
+    x86t = Table("Fig. 3b — VFF speedup on x86 (vs 2 threads)",
+                 ["threads"] + list(inputs))
+    til_series: dict[str, list[float]] = {}
+    x86_series: dict[str, list[float]] = {}
+    for name in inputs:
+        g = load_dataset(name, scale=scale, seed=seed)
+        init = greedy_coloring(g)
+        til_series[name] = speedups(
+            thread_sweep(g, init, parallel_shuffle_balance, tilegx36(), TILERA_THREADS))
+        x86_series[name] = speedups(
+            thread_sweep(g, init, parallel_shuffle_balance, xeon_x7560(), X86_THREADS))
+    for i, p in enumerate(TILERA_THREADS):
+        til.add(p, *[round(til_series[name][i], 2) for name in inputs])
+    for i, p in enumerate(X86_THREADS):
+        x86t.add(p, *[round(x86_series[name][i], 2) for name in inputs])
+    return til, x86t
+
+
+def fig3c_uk2002(
+    *, scale: float = 0.15, seed: int = 0, num_threads: int = 36, max_iterations: int = 20
+) -> Table:
+    """Fig. 3c: phase-1 modularity on uk-2002 with/without balanced coloring.
+
+    Expected shape: the balanced-coloring curve reaches high modularity in
+    the fewest iterations; serial is competitive but slower per the model.
+    """
+    g = load_dataset("uk2002", scale=scale, seed=seed)
+    wg = WeightedGraph.from_csr(g)
+    init = greedy_coloring(g)
+    bal = parallel_shuffle_balance(g, init, num_threads=num_threads)
+
+    _, serial_hist = louvain_phase(wg, max_iterations=max_iterations)
+    _, skew_hist, _ = parallel_louvain_phase(
+        wg, num_threads=num_threads, coloring=init, max_iterations=max_iterations)
+    _, bal_hist, _ = parallel_louvain_phase(
+        wg, num_threads=num_threads, coloring=bal, max_iterations=max_iterations)
+
+    t = Table(
+        "Fig. 3c — modularity per iteration, uk2002 stand-in (phase 1)",
+        ["iteration", "serial", "w_coloring_skewed", "w_coloring_balanced"],
+    )
+    rows = max(len(serial_hist), len(skew_hist), len(bal_hist))
+
+    def at(h, i):
+        return round(h[min(i, len(h) - 1)], 4) if h else 0.0
+
+    for i in range(rows):
+        t.add(i + 1, at(serial_hist, i), at(skew_hist, i), at(bal_hist, i))
+    return t

@@ -1,0 +1,70 @@
+"""Graph substrate: CSR storage, construction, I/O, generators, orderings.
+
+The whole library operates on :class:`~repro.graph.csr.CSRGraph`, an
+immutable undirected graph in compressed-sparse-row form backed by NumPy
+arrays — the same layout the paper's C/OpenMP implementation uses, and the
+layout the coloring kernels' access patterns are designed around.
+"""
+
+from .csr import CSRGraph
+from .build import (
+    from_adjacency,
+    from_edge_arrays,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+)
+from .generators import (
+    clique_overlay_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    grid_3d_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+    road_network_graph,
+    star_graph,
+)
+from .orderings import (
+    largest_first_order,
+    natural_order,
+    random_order,
+    smallest_last_order,
+    vertex_order,
+)
+from .properties import GraphStats, core_number, degree_stats, graph_stats
+from .datasets import DATASETS, DatasetSpec, load_dataset
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_arrays",
+    "from_edge_list",
+    "from_adjacency",
+    "from_scipy_sparse",
+    "from_networkx",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "powerlaw_cluster_graph",
+    "grid_3d_graph",
+    "road_network_graph",
+    "clique_overlay_graph",
+    "natural_order",
+    "random_order",
+    "largest_first_order",
+    "smallest_last_order",
+    "vertex_order",
+    "GraphStats",
+    "degree_stats",
+    "graph_stats",
+    "core_number",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+]

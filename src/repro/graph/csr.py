@@ -1,0 +1,171 @@
+"""Compressed-sparse-row undirected graph.
+
+The CSR layout mirrors the paper's implementation (Sec. V: "Compressed
+Sparse Row Representation of the graph") and the guides' advice on
+cache-friendly contiguous access: the neighbors of vertex ``v`` are the
+contiguous slice ``indices[indptr[v]:indptr[v+1]]``, so a greedy coloring
+sweep touches memory almost sequentially.
+
+Instances are logically immutable: algorithms never mutate a graph, they
+produce new arrays (colorings, community assignments) indexed by vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; row pointer.
+    indices:
+        integer array of length ``2m`` holding, for each vertex, its sorted
+        neighbor list (each undirected edge appears twice).
+    validate:
+        when true (default), structural invariants are checked eagerly.
+
+    Notes
+    -----
+    Self-loops and parallel edges are disallowed: coloring semantics assume
+    a simple graph (a self-loop would make a vertex uncolorable).
+    """
+
+    __slots__ = ("indptr", "indices", "_degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._degrees: np.ndarray | None = None
+        if validate:
+            self.check()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.indptr.shape[0] - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (each stored twice internally)."""
+        return self.indices.shape[0] // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees.max(initial=0))
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex *v*."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the sorted neighbor list of *v*."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if ``{u, v}`` is an edge (binary search on the sorted row)."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.shape[0] and row[i] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        indptr, indices = self.indptr, self.indices
+        for u in range(self.num_vertices):
+            for w in indices[indptr[u] : indptr[u + 1]]:
+                if u < w:
+                    yield (u, int(w))
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(u, v)`` arrays with one entry per undirected edge, u < v."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+        mask = src < self.indices
+        return src[mask], self.indices[mask]
+
+    # ------------------------------------------------------------------
+    # validation / conversion
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Validate CSR invariants; raise ``ValueError`` on violation.
+
+        Checks: monotone indptr, index bounds, sorted rows, no self-loops,
+        no duplicate neighbors, and symmetry (u in adj(v) iff v in adj(u)).
+        """
+        n = self.num_vertices
+        if n < 0:
+            raise ValueError("indptr must have at least one entry")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr endpoints do not match indices length")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape[0]:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise ValueError("indices out of range")
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        if np.any(src == self.indices):
+            raise ValueError("self-loops are not allowed")
+        # sorted + no duplicates within each row
+        same_row = src[1:] == src[:-1]
+        if np.any(same_row & (self.indices[1:] <= self.indices[:-1])):
+            raise ValueError("neighbor lists must be strictly increasing")
+        # symmetry: multiset of (src, dst) equals multiset of (dst, src)
+        fwd = src * n + self.indices
+        bwd = self.indices * n + src
+        if not np.array_equal(np.sort(fwd), np.sort(bwd)):
+            raise ValueError("adjacency is not symmetric")
+
+    def to_scipy_sparse(self):
+        """Convert to a ``scipy.sparse.csr_array`` of 1s (unweighted)."""
+        from scipy.sparse import csr_array
+
+        n = self.num_vertices
+        data = np.ones(self.indices.shape[0], dtype=np.float64)
+        return csr_array((data, self.indices.copy(), self.indptr.copy()), shape=(n, n))
+
+    def subgraph(self, vertices: np.ndarray) -> "CSRGraph":
+        """Induced subgraph on *vertices* (relabeled 0..k-1 in given order)."""
+        from .build import from_edge_arrays
+
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(np.unique(vertices)) != len(vertices):
+            raise ValueError("vertices for subgraph must be unique")
+        relabel = np.full(self.num_vertices, -1, dtype=np.int64)
+        relabel[vertices] = np.arange(len(vertices))
+        u, v = self.edge_arrays()
+        keep = (relabel[u] >= 0) & (relabel[v] >= 0)
+        return from_edge_arrays(relabel[u[keep]], relabel[v[keep]], num_vertices=len(vertices))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, max_deg={self.max_degree})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return np.array_equal(self.indptr, other.indptr) and np.array_equal(
+            self.indices, other.indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.num_edges, self.indices.tobytes()[:256]))

@@ -1,0 +1,94 @@
+"""Graph file I/O: MatrixMarket pattern files and plain edge lists.
+
+The paper's inputs come from the University of Florida Sparse Matrix
+Collection, distributed as MatrixMarket ``.mtx`` files; this module reads
+that format (coordinate pattern/real/integer, general or symmetric) so real
+inputs drop in whenever they are available, and a whitespace edge-list
+format for everything else.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from .build import from_edge_arrays
+from .csr import CSRGraph
+
+__all__ = ["read_matrix_market", "read_edge_list", "write_edge_list", "write_matrix_market"]
+
+
+def _open_text(path: str | Path):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt")
+    return open(path, "rt")
+
+
+def read_matrix_market(path: str | Path) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected graph.
+
+    Values (for ``real``/``integer`` fields) are ignored; only the sparsity
+    pattern matters for coloring.  Both ``general`` and ``symmetric``
+    storage are accepted; the result is always symmetrized.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        parts = header.lower().split()
+        if "coordinate" not in parts:
+            raise ValueError(f"{path}: only coordinate format is supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(x) for x in line.split())
+        if nrows != ncols:
+            raise ValueError(f"{path}: adjacency matrix must be square")
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        for i in range(nnz):
+            fields = fh.readline().split()
+            rows[i] = int(fields[0]) - 1
+            cols[i] = int(fields[1]) - 1
+    return from_edge_arrays(rows, cols, num_vertices=nrows)
+
+
+def write_matrix_market(graph: CSRGraph, path: str | Path) -> None:
+    """Write *graph* as a MatrixMarket symmetric pattern file."""
+    u, v = graph.edge_arrays()
+    with open(path, "wt") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {len(u)}\n")
+        for a, b in zip(v + 1, u + 1):  # lower triangle: row >= col
+            fh.write(f"{a} {b}\n")
+
+
+def read_edge_list(path: str | Path, *, num_vertices: int | None = None) -> CSRGraph:
+    """Read a whitespace-separated edge list (``#`` comments allowed)."""
+    us: list[int] = []
+    vs: list[int] = []
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            a, b = line.split()[:2]
+            us.append(int(a))
+            vs.append(int(b))
+    return from_edge_arrays(
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        num_vertices=num_vertices,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write *graph* as one ``u v`` line per undirected edge."""
+    u, v = graph.edge_arrays()
+    with open(path, "wt") as fh:
+        fh.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for a, b in zip(u, v):
+            fh.write(f"{a} {b}\n")

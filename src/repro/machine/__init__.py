@@ -1,0 +1,40 @@
+"""Analytic machine models pricing execution traces into run times.
+
+The paper evaluates on two platforms (Sec. V–VI): a 4-socket Intel Xeon
+X7560 (32 cores, large caches, expensive cross-socket coherence) and the
+Tilera TileGx36 manycore (36 slower VLIW tiles on a 2-D mesh NoC with
+cheap on-chip synchronization).  Real hardware being unavailable, this
+package reproduces the *architectural* performance story with cost models:
+
+- :mod:`repro.machine.noc` — 2-D mesh network-on-chip (XY routing, hop
+  latencies) grounding the Tilera communication constants;
+- :mod:`repro.machine.cache` — working-set cache model yielding effective
+  memory access times per platform;
+- :mod:`repro.machine.model` — the :class:`MachineModel` parameter set and
+  the trace-pricing rules (critical-path work, memory-bandwidth floor,
+  contended atomics, barriers);
+- :mod:`repro.machine.x86` / :mod:`repro.machine.tilera` — the two
+  concrete platforms;
+- :mod:`repro.machine.timing` — the Table IV/V/VI and Fig. 3 drivers:
+  run an algorithm across thread counts and price each trace.
+
+Estimated times are *model* seconds: the shapes (speedups, crossovers,
+scheme ratios) are the reproduction target, not the absolute values.
+"""
+
+from .model import MachineModel, TimeBreakdown, estimate_time
+from .noc import MeshNoC
+from .cache import CacheLevel, CacheHierarchy
+from .x86 import xeon_x7560
+from .tilera import tilegx36
+
+__all__ = [
+    "MachineModel",
+    "TimeBreakdown",
+    "estimate_time",
+    "MeshNoC",
+    "CacheLevel",
+    "CacheHierarchy",
+    "xeon_x7560",
+    "tilegx36",
+]

@@ -1,0 +1,69 @@
+"""Working-set cache hierarchy model.
+
+Estimates the average memory access time for a kernel whose working set
+has a given size, using the classic "fraction of the working set resident
+per level" approximation: accesses hit the first level large enough to
+hold the data, with partial credit when a level holds part of it.  Crude,
+but enough to make the per-platform ``work_ns`` constants a *derived*
+quantity (from cache sizes the paper lists in Sec. V–VI) instead of a
+free parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util import check_positive
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level: capacity in bytes, access latency in ns."""
+
+    name: str
+    capacity_bytes: int
+    latency_ns: float
+
+    def __post_init__(self) -> None:
+        check_positive(f"{self.name} capacity", self.capacity_bytes)
+        check_positive(f"{self.name} latency", self.latency_ns)
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Ordered cache levels (smallest/fastest first) plus memory latency."""
+
+    levels: tuple[CacheLevel, ...]
+    memory_latency_ns: float
+
+    def __post_init__(self) -> None:
+        check_positive("memory latency", self.memory_latency_ns)
+        caps = [lv.capacity_bytes for lv in self.levels]
+        if caps != sorted(caps):
+            raise ValueError("cache levels must be ordered smallest to largest")
+
+    def avg_access_ns(self, working_set_bytes: float) -> float:
+        """Average access time for a uniformly touched working set.
+
+        For each level, the fraction of accesses it satisfies is the share
+        of the working set it can hold that lower levels could not;
+        whatever no level holds goes to memory.
+        """
+        if working_set_bytes <= 0:
+            raise ValueError(f"working set must be positive, got {working_set_bytes}")
+        remaining = 1.0  # fraction of accesses not yet satisfied
+        covered_bytes = 0.0
+        total = 0.0
+        for level in self.levels:
+            extra = max(0.0, min(level.capacity_bytes, working_set_bytes) - covered_bytes)
+            frac = extra / working_set_bytes
+            frac = min(frac, remaining)
+            total += frac * level.latency_ns
+            remaining -= frac
+            covered_bytes = max(covered_bytes, min(level.capacity_bytes, working_set_bytes))
+            if remaining <= 0:
+                break
+        total += remaining * self.memory_latency_ns
+        return total

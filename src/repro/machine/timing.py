@@ -1,0 +1,92 @@
+"""Thread-sweep drivers: the machinery behind Tables IV–VI and Fig. 3a/b.
+
+Runs a parallel balancing algorithm at each requested thread count,
+prices every trace on a machine model, and assembles run-time and speedup
+series.  Results come back as plain dicts/lists so the experiment harness
+can format them as the paper's tables without further computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..coloring.types import Coloring
+from ..graph.csr import CSRGraph
+from .model import MachineModel, TimeBreakdown, estimate_time
+
+__all__ = ["SweepResult", "thread_sweep", "speedups", "scheme_comparison"]
+
+
+@dataclass
+class SweepResult:
+    """Estimated times for one (algorithm, input, machine) across threads."""
+
+    machine: str
+    algorithm: str
+    threads: list[int] = field(default_factory=list)
+    times_s: list[float] = field(default_factory=list)
+    breakdowns: list[TimeBreakdown] = field(default_factory=list)
+    colorings: list[Coloring] = field(default_factory=list)
+
+    def time_at(self, p: int) -> float:
+        """Estimated seconds at thread count *p*."""
+        return self.times_s[self.threads.index(p)]
+
+
+def thread_sweep(
+    graph: CSRGraph,
+    initial: Coloring,
+    algorithm: Callable[..., Coloring],
+    machine: MachineModel,
+    thread_counts: list[int],
+    **algo_kwargs,
+) -> SweepResult:
+    """Run *algorithm* at every thread count and price each trace.
+
+    *algorithm* must accept ``(graph, initial, num_threads=...)`` and
+    return a coloring with ``meta["trace"]`` (every function in
+    :mod:`repro.parallel` qualifies).
+    """
+    result = SweepResult(machine=machine.name, algorithm=getattr(algorithm, "__name__", "algo"))
+    for p in thread_counts:
+        if p > machine.num_cores:
+            raise ValueError(f"{machine.name} has {machine.num_cores} cores, asked for {p}")
+        coloring = algorithm(graph, initial, num_threads=p, **algo_kwargs)
+        trace = coloring.meta["trace"]
+        bd = estimate_time(trace, machine)
+        result.threads.append(p)
+        result.times_s.append(bd.total_s)
+        result.breakdowns.append(bd)
+        result.colorings.append(coloring)
+    return result
+
+
+def speedups(sweep: SweepResult, *, baseline_threads: int | None = None) -> list[float]:
+    """Speedup series relative to the run at *baseline_threads*.
+
+    Defaults to the smallest thread count in the sweep — the paper reports
+    Tilera speedups against 1 thread and x86 against 2 threads (Fig. 3),
+    and this default matches both when the sweep starts there.
+    """
+    if not sweep.threads:
+        return []
+    base_p = baseline_threads if baseline_threads is not None else min(sweep.threads)
+    base = sweep.time_at(base_p)
+    return [base / t for t in sweep.times_s]
+
+
+def scheme_comparison(
+    graph: CSRGraph,
+    initial: Coloring,
+    schemes: dict[str, Callable[..., Coloring]],
+    machine: MachineModel,
+    num_threads: int,
+    **common_kwargs,
+) -> dict[str, float]:
+    """Estimated seconds per scheme at a fixed thread count (Table VI)."""
+    out: dict[str, float] = {}
+    for name, algorithm in schemes.items():
+        coloring = algorithm(graph, initial, num_threads=num_threads, **common_kwargs)
+        out[name] = estimate_time(coloring.meta["trace"], machine).total_s
+    return out

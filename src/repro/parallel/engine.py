@@ -1,0 +1,233 @@
+"""Tick-synchronous shared-memory simulation engine.
+
+Model
+-----
+*p* threads execute a work list under an OpenMP-``schedule(static,1)``-like
+cyclic assignment: tick *t* processes items ``t*p .. t*p + p - 1``, item
+``t*p + j`` on thread *j*.  Within a tick:
+
+- **plain loads race** — a thread deciding a color sees the shared arrays
+  as they stood when the tick began (writes by same-tick peers are not
+  visible), which is exactly how adjacent vertices end up with the same
+  color on real hardware;
+- **atomics serialize** — bin-size counters use atomic read-modify-write,
+  so a same-tick peer's committed increment *is* visible (matching the
+  paper's "synchronized step").
+
+A *superstep* is one full pass over the current work list followed by a
+barrier and (for speculative algorithms) a conflict-detection phase.  The
+engine records an :class:`ExecutionTrace` — per-superstep, per-thread work
+units, atomic counts, conflicts, and barrier crossings — which the machine
+models in :mod:`repro.machine` turn into run-time estimates.
+
+Work units are *edge touches*: processing vertex v costs
+``deg(v) + VERTEX_OVERHEAD`` units, the dominant cost in all the paper's
+kernels (adjacency scan + constant bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["VERTEX_OVERHEAD", "SuperstepRecord", "ExecutionTrace", "TickMachine"]
+
+#: Fixed per-vertex bookkeeping cost added to the adjacency-scan cost.
+VERTEX_OVERHEAD = 8
+
+
+@dataclass
+class SuperstepRecord:
+    """Instrumentation for one superstep (one parallel pass + barrier)."""
+
+    work_per_thread: np.ndarray  # float64[p], edge-touch units
+    max_item_work: float = 0.0  # largest single work item (scheduling floor)
+    atomic_ops: int = 0  # committed atomic RMW operations
+    distinct_bins: int = 0  # distinct counters those atomics touched
+    shared_reads: int = 0  # reads of contended shared counters (bin sizes)
+    conflicts: int = 0  # vertices sent back for retry
+    items: int = 0  # work items processed
+    barriers: int = 2  # barrier crossings (work phase + detect phase)
+
+    @property
+    def max_work(self) -> float:
+        """Busiest thread's units under the cyclic (static) assignment."""
+        return float(self.work_per_thread.max(initial=0.0))
+
+    def critical_work(self, num_threads: int) -> float:
+        """Critical-path units under dynamic (work-stealing) scheduling.
+
+        The classic list-scheduling bound: the span is at least the mean
+        load and at least the largest single item; real OpenMP dynamic
+        schedules land between this and ``max_work`` (the static bound).
+        """
+        return max(self.total_work / num_threads, self.max_item_work)
+
+    @property
+    def total_work(self) -> float:
+        """All threads' units combined."""
+        return float(self.work_per_thread.sum())
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete instrumentation of one parallel algorithm execution."""
+
+    num_threads: int
+    algorithm: str = ""
+    supersteps: list[SuperstepRecord] = field(default_factory=list)
+    serial_work: float = 0.0  # units executed in serial sections (e.g. planning)
+
+    def add(self, record: SuperstepRecord) -> None:
+        """Append one completed superstep's instrumentation."""
+        self.supersteps.append(record)
+
+    @property
+    def num_supersteps(self) -> int:
+        """Number of supersteps executed."""
+        return len(self.supersteps)
+
+    @property
+    def total_conflicts(self) -> int:
+        """Vertices retried across all supersteps."""
+        return sum(s.conflicts for s in self.supersteps)
+
+    @property
+    def total_atomics(self) -> int:
+        """Atomic RMW operations across all supersteps."""
+        return sum(s.atomic_ops for s in self.supersteps)
+
+    @property
+    def total_shared_reads(self) -> int:
+        """Contended counter reads across all supersteps."""
+        return sum(s.shared_reads for s in self.supersteps)
+
+    @property
+    def total_work(self) -> float:
+        """Serial plus parallel units over the whole execution."""
+        return self.serial_work + sum(s.total_work for s in self.supersteps)
+
+    @property
+    def critical_path_work(self) -> float:
+        """Serial work plus per-superstep busiest-thread work."""
+        return self.serial_work + sum(s.max_work for s in self.supersteps)
+
+    @property
+    def total_barriers(self) -> int:
+        """Barrier crossings across all supersteps."""
+        return sum(s.barriers for s in self.supersteps)
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump (for archiving experiment runs)."""
+        return {
+            "num_threads": self.num_threads,
+            "algorithm": self.algorithm,
+            "serial_work": self.serial_work,
+            "supersteps": [
+                {
+                    "work_per_thread": ss.work_per_thread.tolist(),
+                    "max_item_work": ss.max_item_work,
+                    "atomic_ops": ss.atomic_ops,
+                    "distinct_bins": ss.distinct_bins,
+                    "shared_reads": ss.shared_reads,
+                    "conflicts": ss.conflicts,
+                    "items": ss.items,
+                    "barriers": ss.barriers,
+                }
+                for ss in self.supersteps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionTrace":
+        """Inverse of :meth:`to_dict`."""
+        trace = cls(
+            num_threads=data["num_threads"],
+            algorithm=data.get("algorithm", ""),
+            serial_work=data.get("serial_work", 0.0),
+        )
+        for ss in data.get("supersteps", []):
+            record = SuperstepRecord(
+                work_per_thread=np.asarray(ss["work_per_thread"], dtype=float),
+                max_item_work=ss.get("max_item_work", 0.0),
+                atomic_ops=ss.get("atomic_ops", 0),
+                distinct_bins=ss.get("distinct_bins", 0),
+                shared_reads=ss.get("shared_reads", 0),
+                conflicts=ss.get("conflicts", 0),
+                items=ss.get("items", 0),
+                barriers=ss.get("barriers", 2),
+            )
+            trace.add(record)
+        return trace
+
+    def summary(self) -> dict:
+        """Compact dict for coloring ``meta`` and reports."""
+        return {
+            "algorithm": self.algorithm,
+            "threads": self.num_threads,
+            "supersteps": self.num_supersteps,
+            "conflicts": self.total_conflicts,
+            "atomics": self.total_atomics,
+            "work": self.total_work,
+            "critical_path": self.critical_path_work,
+        }
+
+
+class TickMachine:
+    """Batching and accounting helper shared by the parallel algorithms.
+
+    Not a scheduler — the algorithms drive their own loops — but the single
+    place that knows the cyclic item→thread assignment and builds
+    :class:`SuperstepRecord` objects consistently.
+    """
+
+    def __init__(self, num_threads: int, *, algorithm: str = ""):
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = int(num_threads)
+        self.trace = ExecutionTrace(num_threads=self.num_threads, algorithm=algorithm)
+
+    def ticks(self, items: np.ndarray):
+        """Yield ``(tick_index, batch)`` slices of at most *p* items.
+
+        Item ``batch[j]`` runs on thread *j*; all of a batch is concurrent.
+        """
+        p = self.num_threads
+        items = np.asarray(items)
+        for t in range(0, items.shape[0], p):
+            yield t // p, items[t : t + p]
+
+    def new_superstep(self) -> SuperstepRecord:
+        """Fresh, zeroed instrumentation record for the next superstep."""
+        return SuperstepRecord(work_per_thread=np.zeros(self.num_threads))
+
+    def charge(self, record: SuperstepRecord, thread: int, degree: int) -> None:
+        """Charge one vertex of the given degree to *thread*."""
+        units = degree + VERTEX_OVERHEAD
+        record.work_per_thread[thread] += units
+        record.max_item_work = max(record.max_item_work, units)
+        record.items += 1
+
+    def charge_bulk(self, record: SuperstepRecord, items: int, unit_cost: float = 1.0) -> None:
+        """Charge *items* uniform work items spread evenly over all threads.
+
+        Used for data-parallel sweeps with O(1) per-item cost (e.g.
+        gathering the members of over-full bins) where itemizing the loop
+        in Python would cost more than it informs.
+        """
+        if items < 0:
+            raise ValueError(f"items must be >= 0, got {items}")
+        if items == 0:
+            return
+        p = self.num_threads
+        per, extra = divmod(items, p)
+        record.work_per_thread += per * unit_cost
+        if extra:
+            record.work_per_thread[:extra] += unit_cost
+        record.max_item_work = max(record.max_item_work, unit_cost)
+        record.items += items
+
+    def charge_serial(self, units: float) -> None:
+        """Charge work executed in a serial section."""
+        self.trace.serial_work += units

@@ -1,0 +1,157 @@
+"""Real process-parallel Greedy-FF coloring (multiprocessing backend).
+
+The tick machine simulates shared-memory parallelism; this module provides
+the genuine article within CPython's constraints: the speculation-and-
+iteration framework distributed over worker *processes*.  Each round, the
+uncolored vertices are block-partitioned across workers, every worker
+First-Fit-colors its block against a snapshot of the global colors array,
+proposals are merged, and the higher-id endpoint of every monochromatic
+edge is retried next round — the same protocol as
+:func:`repro.parallel.greedy.parallel_greedy_ff`, with process boundaries
+playing the role of racing threads (workers cannot see each other's
+in-round proposals, exactly like same-tick peers).
+
+Because each round ships the colors snapshot to every worker, speedups are
+real but modest, and only worthwhile for graphs large enough to amortize
+the IPC; the docstring of :func:`mp_greedy_ff` quantifies the trade-off.
+This backend exists to demonstrate end-to-end correctness of the parallel
+protocol under true concurrency, not to win benchmarks — the performance
+experiments use the machine models (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coloring.types import Coloring
+from ..graph.csr import CSRGraph
+
+__all__ = ["mp_greedy_ff"]
+
+# Worker-process globals, installed by _init_worker (fork-safe: on Linux the
+# arrays are shared copy-on-write, so no per-task graph pickling happens).
+_G_INDPTR: np.ndarray | None = None
+_G_INDICES: np.ndarray | None = None
+
+
+def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
+    global _G_INDPTR, _G_INDICES
+    _G_INDPTR = indptr
+    _G_INDICES = indices
+
+
+def _color_block(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """FF-color one block of vertices against a colors snapshot."""
+    block, colors = args
+    indptr, indices = _G_INDPTR, _G_INDICES
+    out = np.empty(block.shape[0], dtype=np.int64)
+    local = colors.copy()  # worker sees its own in-block commits immediately
+    for i, v in enumerate(block):
+        v = int(v)
+        row = indices[indptr[v] : indptr[v + 1]]
+        nbr = local[row]
+        used = set(int(c) for c in nbr[nbr >= 0])
+        k = 0
+        while k in used:
+            k += 1
+        out[i] = k
+        local[v] = k
+    return out
+
+
+def mp_greedy_ff(
+    graph: CSRGraph,
+    *,
+    num_workers: int = 2,
+    max_rounds: int = 100,
+    partition: str = "block",
+    seed=None,
+) -> Coloring:
+    """Greedy-FF coloring computed by *num_workers* OS processes.
+
+    Deterministic for fixed ``(num_workers, partition, seed)``.  Worthwhile
+    from roughly 10^5 edges upward; below that, process start-up and
+    snapshot shipping dominate.  Falls back to an in-process pass when
+    ``num_workers == 1``.
+
+    ``partition`` selects how vertices are split across workers (see
+    :mod:`repro.parallel.partition`): ``"block"``, ``"random"``, or
+    ``"bfs"`` — fewer cross-partition edges mean fewer speculative
+    conflicts and fewer retry rounds.
+
+    Returns a proper :class:`Coloring`; ``meta["rounds"]`` records how many
+    speculation rounds were needed and ``meta["conflicts"]`` the total
+    number of retried vertices.
+    """
+    from .partition import bfs_partition, block_partition, random_partition
+
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    partitioners = {
+        "block": lambda: block_partition(graph, num_workers),
+        "random": lambda: random_partition(graph, num_workers, seed=seed),
+        "bfs": lambda: bfs_partition(graph, num_workers, seed=seed),
+    }
+    if partition not in partitioners:
+        raise ValueError(
+            f"partition must be one of {sorted(partitioners)}, got {partition!r}")
+    n = graph.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    work_list = np.arange(n, dtype=np.int64)
+    rounds = 0
+    total_conflicts = 0
+
+    if num_workers == 1:
+        _init_worker(graph.indptr, graph.indices)
+        colors[work_list] = _color_block((work_list, colors))
+        num_colors = int(colors.max(initial=-1)) + 1
+        return Coloring(colors, num_colors, strategy="greedy-ff-mp",
+                        meta={"workers": 1, "rounds": 1, "conflicts": 0,
+                              "partition": partition})
+
+    # the partition fixes a global order; each round splits the remaining
+    # work list along it, preserving the partitioner's locality
+    position = np.empty(n, dtype=np.int64)
+    offset = 0
+    for part in partitioners[partition]():
+        position[part] = np.arange(offset, offset + part.shape[0])
+        offset += part.shape[0]
+
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    with ctx.Pool(
+        processes=num_workers,
+        initializer=_init_worker,
+        initargs=(graph.indptr, graph.indices),
+    ) as pool:
+        while work_list.shape[0] and rounds < max_rounds:
+            rounds += 1
+            ordered = work_list[np.argsort(position[work_list])]
+            blocks = [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
+            results = pool.map(_color_block, [(b, colors) for b in blocks])
+            for b, res in zip(blocks, results):
+                colors[b] = res
+            work_list = _conflict_losers(graph, colors, work_list)
+            total_conflicts += int(work_list.shape[0])
+
+    if work_list.shape[0]:  # residual conflicts: finish sequentially
+        _init_worker(graph.indptr, graph.indices)
+        colors[work_list] = _color_block((work_list, colors))
+
+    num_colors = int(colors.max(initial=-1)) + 1
+    return Coloring(
+        colors,
+        num_colors,
+        strategy="greedy-ff-mp",
+        meta={"workers": num_workers, "rounds": rounds,
+              "conflicts": total_conflicts, "partition": partition},
+    )
+
+
+def _conflict_losers(graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray) -> np.ndarray:
+    in_work = np.zeros(graph.num_vertices, dtype=bool)
+    in_work[work_list] = True
+    u, v = graph.edge_arrays()
+    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
+    return np.unique(v[mask])

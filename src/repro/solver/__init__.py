@@ -1,0 +1,30 @@
+"""Multicolor sparse iterative solvers: the paper's second motivating use.
+
+Sec. II-B cites "parallel sparse matrix computations on irregular grids"
+as a classic consumer of (balanced) coloring: a Gauss–Seidel or SOR sweep
+can only update unknowns in parallel when their rows do not couple, i.e.
+when they sit in the same color class of the matrix-adjacency graph.  The
+sweep then runs class by class — identical structure to Grappolo's
+color-steered phase — so skewed classes strand threads in the small steps
+and balanced classes fix it.
+
+This package builds SPD test systems from any :class:`repro.graph.CSRGraph`
+(graph Laplacian plus a diagonal shift) and provides Jacobi and multicolor
+Gauss–Seidel solvers whose colored sweeps are traced on the tick machine,
+so the machine models can price a sweep under skewed vs balanced
+colorings (see ``examples/sparse_solver.py`` and
+``benchmarks/bench_solver_app.py``).
+"""
+
+from .system import LinearSystem, laplacian_system, residual_norm
+from .multicolor import SolveResult, jacobi, multicolor_gauss_seidel, sweep_trace
+
+__all__ = [
+    "LinearSystem",
+    "laplacian_system",
+    "residual_norm",
+    "SolveResult",
+    "jacobi",
+    "multicolor_gauss_seidel",
+    "sweep_trace",
+]

@@ -1,0 +1,25 @@
+"""Shared utilities: timing, RNG handling, validation helpers, logging.
+
+These are deliberately dependency-light; every other subpackage may import
+from here but :mod:`repro.util` imports nothing else from :mod:`repro`.
+"""
+
+from .rng import as_rng, spawn_rngs
+from .timer import Timer, timed
+from .validation import (
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "Timer",
+    "timed",
+    "as_rng",
+    "spawn_rngs",
+    "check_array_1d",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]

@@ -1,0 +1,61 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Supports repeated ``start``/``stop`` cycles; ``elapsed`` is the running
+    total in seconds.  Use as a context manager for one-shot timing::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    elapsed: float = 0.0
+    _t0: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Begin (or resume) timing; errors if already running."""
+        if self._t0 is not None:
+            raise RuntimeError("Timer already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the accumulated total in seconds."""
+        if self._t0 is None:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and clear any running interval."""
+        self.elapsed = 0.0
+        self._t0 = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Time a block and store the elapsed seconds at ``sink[key]``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - t0

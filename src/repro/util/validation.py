@@ -1,0 +1,44 @@
+"""Argument validation helpers shared across the library.
+
+These raise early, with messages that name the offending argument, so that
+algorithm code can assume clean inputs and stay readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_array_1d",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_array_1d(name: str, arr: np.ndarray, length: int | None = None) -> np.ndarray:
+    """Validate that *arr* is one-dimensional (optionally of given length)."""
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr

@@ -1,0 +1,65 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    from_edge_list,
+    load_dataset,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path10():
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def star8():
+    return star_graph(8)
+
+
+@pytest.fixture
+def petersen():
+    """The Petersen graph: 3-regular, chromatic number 3, girth 5."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return from_edge_list(outer + inner + spokes)
+
+
+@pytest.fixture
+def random_graph():
+    return erdos_renyi_graph(200, 0.05, seed=42)
+
+
+@pytest.fixture
+def two_cliques():
+    """Two K5s joined by a single bridge — the classic community test."""
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    edges += [(5 + i, 5 + j) for i in range(5) for j in range(i + 1, 5)]
+    edges.append((0, 5))
+    return from_edge_list(edges)
+
+
+@pytest.fixture(scope="session")
+def small_cnr():
+    """A small instance of the cnr stand-in shared across test modules."""
+    return load_dataset("cnr", scale=0.06, seed=1)

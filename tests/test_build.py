@@ -1,0 +1,105 @@
+"""Tests for graph builders (normalization, formats)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_adjacency,
+    from_edge_arrays,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+)
+
+
+class TestFromEdgeArrays:
+    def test_basic(self):
+        g = from_edge_arrays([0, 1], [1, 2])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_drops_self_loops(self):
+        g = from_edge_arrays([0, 1, 2], [1, 1, 2])
+        assert g.num_edges == 1
+        assert not g.has_edge(2, 2) if g.num_vertices > 2 else True
+
+    def test_collapses_duplicates_and_reversals(self):
+        g = from_edge_arrays([0, 1, 0, 0], [1, 0, 1, 1])
+        assert g.num_edges == 1
+
+    def test_explicit_num_vertices_adds_isolates(self):
+        g = from_edge_arrays([0], [1], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_id_exceeding_num_vertices_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            from_edge_arrays([0], [9], num_vertices=5)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            from_edge_arrays([-1], [0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            from_edge_arrays([0, 1], [1])
+
+    def test_symmetry_of_result(self):
+        g = from_edge_arrays([3, 1, 4], [1, 5, 9], num_vertices=10)
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+
+class TestOtherBuilders:
+    def test_from_edge_list(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        assert g.num_edges == 3
+
+    def test_from_edge_list_empty(self):
+        g = from_edge_list([], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_from_edge_list_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 1, 2)])
+
+    def test_from_adjacency(self):
+        g = from_adjacency([[1, 2], [0], [0]])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_adjacency_symmetrizes_oneway_lists(self):
+        g = from_adjacency([[1], [], []])
+        assert g.has_edge(1, 0)
+
+    def test_from_scipy_nonsquare_rejected(self):
+        from scipy.sparse import csr_array
+
+        mat = csr_array(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            from_scipy_sparse(mat)
+
+    def test_from_scipy_ignores_values(self):
+        from scipy.sparse import coo_array
+
+        mat = coo_array(([5.0, -2.0], ([0, 1], [1, 2])), shape=(3, 3))
+        g = from_scipy_sparse(mat)
+        assert g.num_edges == 2
+
+    def test_from_networkx_roundtrip(self):
+        import networkx as nx
+
+        nxg = nx.petersen_graph()
+        g = from_networkx(nxg)
+        assert g.num_vertices == 10
+        assert g.num_edges == 15
+        assert g.max_degree == 3
+
+    def test_from_networkx_arbitrary_labels(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        g = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2

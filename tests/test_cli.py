@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig1b" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table2", "--scale", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "europe_osm" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["table2", "--scale", "0.04", "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        assert "input" in files[0].read_text().splitlines()[0]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_fig2_produces_two_tables(self, capsys):
+        assert main(["fig2", "--scale", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Fig. 2") == 2
+
+    def test_report_output(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(["table2", "--scale", "0.04", "--report", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("# repro results")
+        assert "Table II" in text

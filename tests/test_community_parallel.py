@@ -1,0 +1,139 @@
+"""Tests for Grappolo-style parallel Louvain and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring
+from repro.community import (
+    WeightedGraph,
+    modularity,
+    parallel_louvain,
+    parallel_louvain_phase,
+)
+from repro.community.pipeline import run_pipeline
+from repro.machine import tilegx36
+
+
+class TestParallelPhase:
+    def test_colored_two_cliques(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        coloring = greedy_coloring(two_cliques)
+        comm, history, trace = parallel_louvain_phase(
+            wg, num_threads=4, coloring=coloring)
+        assert len(np.unique(comm[:5])) == 1
+        assert len(np.unique(comm[5:])) == 1
+        assert trace.num_supersteps > 0
+
+    def test_uncolored_reaches_positive_q(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm, history, trace = parallel_louvain_phase(wg, num_threads=4)
+        assert history[-1] > 0
+
+    def test_colored_quality_close_to_serial(self, small_cnr):
+        from repro.community import louvain_phase
+
+        wg = WeightedGraph.from_csr(small_cnr)
+        _, serial_hist = louvain_phase(wg)
+        coloring = greedy_coloring(small_cnr)
+        _, colored_hist, _ = parallel_louvain_phase(
+            wg, num_threads=8, coloring=coloring)
+        assert colored_hist[-1] >= serial_hist[-1] - 0.05
+
+    def test_uncolored_converges_lower_or_slower(self, small_cnr):
+        from repro.community import louvain_phase
+
+        wg = WeightedGraph.from_csr(small_cnr)
+        _, serial_hist = louvain_phase(wg)
+        _, nocol_hist, _ = parallel_louvain_phase(wg, num_threads=8)
+        # first-iteration modularity lags serial's (Fig. 1b shape)
+        assert nocol_hist[0] <= serial_hist[0] + 1e-9
+
+    def test_coloring_mismatch_rejected(self, small_cnr, path10):
+        wg = WeightedGraph.from_csr(small_cnr)
+        with pytest.raises(ValueError):
+            parallel_louvain_phase(wg, coloring=greedy_coloring(path10))
+
+    def test_trace_charges_shared_reads(self, small_cnr):
+        wg = WeightedGraph.from_csr(small_cnr)
+        _, _, trace = parallel_louvain_phase(
+            wg, num_threads=4, coloring=greedy_coloring(small_cnr))
+        assert trace.total_shared_reads > 0
+
+
+class TestParallelLouvain:
+    def test_colored_full_run(self, small_cnr):
+        coloring = greedy_coloring(small_cnr)
+        res = parallel_louvain(small_cnr, num_threads=8, coloring=coloring)
+        assert res.modularity == pytest.approx(
+            modularity(small_cnr, res.communities))
+        assert res.mode == "colored"
+        assert res.trace is not None
+
+    def test_uncolored_full_run(self, small_cnr):
+        res = parallel_louvain(small_cnr, num_threads=8)
+        assert res.mode == "uncolored"
+        assert res.modularity > 0
+
+    def test_quality_close_to_serial(self, small_cnr):
+        from repro.community import louvain
+
+        serial_q = louvain(small_cnr).modularity
+        colored = parallel_louvain(
+            small_cnr, num_threads=8, coloring=greedy_coloring(small_cnr))
+        assert colored.modularity >= serial_q - 0.05
+
+    def test_phase1_history_recorded(self, small_cnr):
+        res = parallel_louvain(small_cnr, num_threads=4,
+                               coloring=greedy_coloring(small_cnr))
+        assert len(res.phase1_history) >= 1
+
+
+class TestPipeline:
+    def test_table7_row_fields(self, small_cnr):
+        r = run_pipeline(small_cnr, tilegx36(), num_threads=36,
+                         input_name="cnr", max_iterations=10)
+        assert r.input_name == "cnr"
+        assert r.init_coloring_s > 0
+        assert r.balancing_s > 0
+        assert r.detection_skewed_s > 0
+        assert r.detection_balanced_s > 0
+        assert 0 < r.modularity_skewed <= 1
+        assert 0 < r.modularity_balanced <= 1
+
+    def test_totals_and_savings(self, small_cnr):
+        r = run_pipeline(small_cnr, tilegx36(), num_threads=36, max_iterations=10)
+        assert r.total_skewed_s == pytest.approx(
+            r.init_coloring_s + r.detection_skewed_s)
+        assert r.total_balanced_s == pytest.approx(
+            r.init_coloring_s + r.balancing_s + r.detection_balanced_s)
+        expected = 100 * (1 - r.total_balanced_s / r.total_skewed_s)
+        assert r.savings_percent == pytest.approx(expected)
+
+    def test_modularity_preserved_by_balancing(self, small_cnr):
+        r = run_pipeline(small_cnr, tilegx36(), num_threads=36, max_iterations=15)
+        assert abs(r.modularity_skewed - r.modularity_balanced) < 0.08
+
+    def test_thread_cap_respected(self, small_cnr):
+        # asking for more threads than the machine has must not raise
+        r = run_pipeline(small_cnr, tilegx36(), num_threads=99, max_iterations=5)
+        assert r.detection_skewed_s > 0
+
+
+class TestMinimumLabelRule:
+    def test_adjacent_singletons_do_not_swap(self):
+        """Without damping, two adjacent singletons would adopt each
+        other's labels forever; the minimum-label rule lets exactly one
+        move, so a single edge resolves into one community."""
+        from repro.graph import path_graph
+
+        g = path_graph(2)
+        res = parallel_louvain(g, num_threads=2)
+        assert res.num_communities == 1
+
+    def test_triangle_of_singletons_converges(self):
+        from repro.graph import cycle_graph
+
+        g = cycle_graph(3)
+        res = parallel_louvain(g, num_threads=3)
+        assert res.num_communities >= 1
+        assert res.modularity <= 1.0

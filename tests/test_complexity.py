@@ -1,0 +1,52 @@
+"""Empirical complexity checks (Sec. III-D of the paper).
+
+The paper bounds every scheme's work by O(|V|·Δ); the trace's work-unit
+accounting makes this testable deterministically — work must grow roughly
+linearly with the edge count on a fixed family, not quadratically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring
+from repro.graph import erdos_renyi_graph, grid_3d_graph
+from repro.parallel import parallel_greedy_ff, parallel_shuffle_balance
+
+
+def _total_work(coloring):
+    return coloring.meta["trace"].total_work
+
+
+class TestLinearWork:
+    def test_greedy_ff_work_linear_in_edges(self):
+        sizes = [(6, 6, 6), (8, 8, 8), (10, 10, 10)]
+        works = []
+        edges = []
+        for dims in sizes:
+            g = grid_3d_graph(*dims, stencil=18)
+            c = parallel_greedy_ff(g, num_threads=1)
+            works.append(_total_work(c))
+            edges.append(2 * g.num_edges + 8 * g.num_vertices)
+        ratios = [w / e for w, e in zip(works, edges)]
+        # per-edge work stays within a narrow constant band
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_vff_work_linear_in_edges(self):
+        works = []
+        edges = []
+        for n in (400, 800, 1600):
+            g = erdos_renyi_graph(n, 16 / n, seed=3)
+            init = greedy_coloring(g)
+            out = parallel_shuffle_balance(g, init, num_threads=4)
+            works.append(_total_work(out))
+            edges.append(2 * g.num_edges + 8 * g.num_vertices)
+        ratios = [w / e for w, e in zip(works, edges)]
+        assert max(ratios) / min(ratios) < 3.0  # retries add slack, not growth
+
+    def test_greedy_colors_bounded_on_growing_er(self):
+        # FF colors track the degeneracy regime, not n
+        counts = []
+        for n in (300, 600, 1200):
+            g = erdos_renyi_graph(n, 12 / n, seed=4)
+            counts.append(greedy_coloring(g).num_colors)
+        assert max(counts) <= 2 * min(counts)

@@ -1,0 +1,124 @@
+"""Tests for the CSRGraph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_arrays, from_edge_list, path_graph
+
+
+class TestStructure:
+    def test_counts(self, path10):
+        assert path10.num_vertices == 10
+        assert path10.num_edges == 9
+
+    def test_degrees_path(self, path10):
+        deg = path10.degrees
+        assert deg[0] == deg[9] == 1
+        assert all(deg[1:9] == 2)
+
+    def test_max_degree(self, star8):
+        assert star8.max_degree == 7
+
+    def test_degree_single_vertex(self, star8):
+        assert star8.degree(0) == 7
+        assert star8.degree(3) == 1
+
+    def test_neighbors_sorted(self, k5):
+        for v in range(5):
+            nbrs = k5.neighbors(v)
+            assert np.array_equal(nbrs, np.sort(nbrs))
+            assert v not in nbrs
+
+    def test_has_edge(self, cycle5):
+        assert cycle5.has_edge(0, 1)
+        assert cycle5.has_edge(0, 4)
+        assert not cycle5.has_edge(0, 2)
+
+    def test_edges_iterates_each_once(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == 10
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 10
+
+    def test_edge_arrays_match_edges(self, petersen):
+        u, v = petersen.edge_arrays()
+        assert len(u) == petersen.num_edges == 15
+        assert set(zip(u.tolist(), v.tolist())) == set(petersen.edges())
+
+    def test_empty_graph(self):
+        g = from_edge_arrays(np.empty(0, np.int64), np.empty(0, np.int64), num_vertices=0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CSRGraph(np.array([0, 1]), np.array([0]))
+
+    def test_asymmetric_rejected(self):
+        # edge 0->1 without 1->0
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1, 1]), np.array([1]))
+
+    def test_unsorted_row_rejected(self):
+        # vertex 0 adjacent to 2 then 1 (unsorted)
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        with pytest.raises(ValueError):
+            CSRGraph(indptr, indices)
+
+    def test_duplicate_neighbor_rejected(self):
+        indptr = np.array([0, 2, 4])
+        indices = np.array([1, 1, 0, 0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CSRGraph(indptr, indices)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(np.array([0, 1, 2]), np.array([5, 0]))
+
+    def test_indptr_endpoint_mismatch(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            CSRGraph(np.array([0, 3]), np.array([1]))
+
+    def test_validate_false_skips_checks(self):
+        g = CSRGraph(np.array([0, 1]), np.array([0]), validate=False)
+        assert g.num_vertices == 1  # invalid but constructed
+
+
+class TestConversion:
+    def test_to_scipy_roundtrip(self, petersen):
+        mat = petersen.to_scipy_sparse()
+        assert mat.shape == (10, 10)
+        assert mat.nnz == 30
+        from repro.graph import from_scipy_sparse
+
+        back = from_scipy_sparse(mat)
+        assert back == petersen
+
+    def test_subgraph_induced(self, k5):
+        sub = k5.subgraph(np.array([0, 2, 4]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # induced triangle
+
+    def test_subgraph_relabels_in_order(self, path10):
+        sub = path10.subgraph(np.array([3, 4, 5]))
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_subgraph_duplicate_vertices_rejected(self, path10):
+        with pytest.raises(ValueError, match="unique"):
+            path10.subgraph(np.array([1, 1]))
+
+    def test_equality(self):
+        a = path_graph(5)
+        b = path_graph(5)
+        c = path_graph(6)
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_hashable(self):
+        assert isinstance(hash(path_graph(4)), int)

@@ -1,0 +1,73 @@
+"""Tests for the dataset stand-ins."""
+
+import pytest
+
+from repro.graph import DATASETS, load_dataset
+from repro.coloring import greedy_coloring, balance_report
+
+SMALL = 0.05
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_builds_and_validates(self, name):
+        g = load_dataset(name, scale=SMALL, seed=0)
+        g.check()
+        assert g.num_vertices > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("cnr", scale=0)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_deterministic_per_seed(self, name):
+        a = load_dataset(name, scale=SMALL, seed=3)
+        b = load_dataset(name, scale=SMALL, seed=3)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("cnr", scale=SMALL, seed=0)
+        b = load_dataset("cnr", scale=SMALL, seed=1)
+        assert a != b
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("europe_osm", scale=0.05, seed=0)
+        big = load_dataset("europe_osm", scale=0.2, seed=0)
+        assert big.num_vertices > small.num_vertices
+
+
+class TestQualitativeProperties:
+    """The stand-ins must preserve the properties the experiments use."""
+
+    def test_channel_few_colors(self):
+        g = load_dataset("channel", scale=0.2, seed=0)
+        c = greedy_coloring(g)
+        assert c.num_colors <= 16
+        assert g.max_degree == 18
+
+    def test_europe_osm_sparse_and_few_colors(self):
+        g = load_dataset("europe_osm", scale=0.2, seed=0)
+        assert 2 * g.num_edges / g.num_vertices < 2.6
+        assert greedy_coloring(g).num_colors <= 8
+
+    def test_ff_skew_on_web_graphs(self):
+        for name in ("cnr", "uk2002"):
+            g = load_dataset(name, scale=0.1, seed=0)
+            r = balance_report(greedy_coloring(g))
+            assert r.rsd_percent > 100, f"{name} should be heavily skewed"
+
+    def test_color_count_ordering(self):
+        counts = {}
+        for name in ("channel", "cnr", "uk2002", "mg2"):
+            g = load_dataset(name, scale=0.2, seed=0)
+            counts[name] = greedy_coloring(g).num_colors
+        assert counts["channel"] < counts["cnr"] < counts["uk2002"] <= counts["mg2"]
+
+    def test_spec_metadata(self):
+        for spec in DATASETS.values():
+            assert spec.paper_input
+            assert spec.description

@@ -1,0 +1,89 @@
+"""Tests for distance-2 coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_distance2_proper,
+    balance_report,
+    greedy_distance2,
+    is_distance2_proper,
+)
+from repro.graph import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestGreedyDistance2:
+    def test_star_needs_n_colors(self):
+        # all leaves are at distance 2 through the hub
+        g = star_graph(8)
+        c = greedy_distance2(g)
+        assert c.num_colors == 8
+        assert_distance2_proper(g, c)
+
+    def test_path_three_colors(self):
+        g = path_graph(9)
+        c = greedy_distance2(g)
+        assert c.num_colors == 3
+        assert_distance2_proper(g, c)
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        c = greedy_distance2(g)
+        assert_distance2_proper(g, c)
+        assert c.num_colors == 3  # 9 divisible by 3
+
+    def test_clique(self, k5):
+        c = greedy_distance2(k5)
+        assert c.num_colors == 5
+
+    def test_petersen(self, petersen):
+        c = greedy_distance2(petersen)
+        assert_distance2_proper(petersen, c)
+        # Petersen is 3-regular with girth 5: D2 coloring needs >= 10/…
+        assert c.num_colors >= 4
+
+    def test_realistic_graph_both_choices(self, small_cnr):
+        for choice in ("ff", "lu"):
+            c = greedy_distance2(small_cnr, choice=choice)
+            assert_distance2_proper(small_cnr, c)
+
+    def test_lu_balances_better(self, small_cnr):
+        ff = balance_report(greedy_distance2(small_cnr, choice="ff"))
+        lu = balance_report(greedy_distance2(small_cnr, choice="lu"))
+        assert lu.rsd_percent < ff.rsd_percent
+
+    def test_d2_uses_at_least_d1_colors(self, small_cnr):
+        from repro.coloring import greedy_coloring
+
+        d1 = greedy_coloring(small_cnr)
+        d2 = greedy_distance2(small_cnr)
+        assert d2.num_colors >= d1.num_colors
+
+    def test_custom_ordering(self, path10):
+        c = greedy_distance2(path10, ordering=np.arange(10)[::-1])
+        assert_distance2_proper(path10, c)
+
+    def test_bad_choice(self, path10):
+        with pytest.raises(ValueError):
+            greedy_distance2(path10, choice="zz")
+
+
+class TestVerifyDistance2:
+    def test_d1_proper_but_d2_improper_detected(self, path10):
+        # alternating 2-coloring of a path is proper but not D2-proper
+        colors = np.arange(10) % 2
+        assert not is_distance2_proper(path10, colors)
+        with pytest.raises(AssertionError, match="distance-2"):
+            assert_distance2_proper(path10, colors)
+
+    def test_uncolored_rejected(self, path10):
+        colors = np.zeros(10, dtype=np.int64) - 1
+        assert not is_distance2_proper(path10, colors)
+
+    def test_length_mismatch(self, path10):
+        with pytest.raises(ValueError):
+            is_distance2_proper(path10, np.zeros(3, dtype=np.int64))
+
+    def test_accepts_coloring_object(self, path10):
+        c = greedy_distance2(path10)
+        assert is_distance2_proper(path10, c)

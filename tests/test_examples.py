@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Greedy-FF" in out and "vff" in out
+
+    def test_community_detection(self):
+        out = _run("community_detection.py", "cnr", "0.08")
+        assert "serial Louvain" in out
+        assert "end-to-end savings" in out
+
+    def test_machine_comparison(self):
+        out = _run("machine_comparison.py", "cnr", "0.08")
+        assert "tilegx36" in out and "xeon-x7560" in out
+        assert "cost breakdown" in out
+
+    def test_sparse_solver(self):
+        out = _run("sparse_solver.py", "cnr", "0.08")
+        assert "Jacobi" in out and "balanced coloring" in out
+
+    def test_custom_graphs(self):
+        out = _run("custom_graphs.py")
+        assert "MatrixMarket round trip OK" in out
+        assert "distance-2" in out

@@ -1,0 +1,173 @@
+"""Tests for the experiment harness and drivers (tiny scales)."""
+
+import pytest
+
+from repro.experiments import (
+    Table,
+    ablation_conflicts_vs_threads,
+    ablation_iterated_greedy,
+    ablation_orderings,
+    ablation_sched_fill_order,
+    fig1a_ff_skew,
+    fig1b_modularity,
+    fig2_distributions,
+    fig3ab_speedups,
+    fig3c_uk2002,
+    format_table,
+    table2_inputs,
+    table3_balance,
+    table4_tilera,
+    table5_x86,
+    table6_schemes,
+    table7_community,
+)
+
+TINY = dict(scale=0.04, seed=0)
+
+
+class TestHarness:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [100, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_add_and_render(self):
+        t = Table("t", ["x", "y"])
+        t.add(1, 2)
+        t.note("hello")
+        out = t.render()
+        assert "== t ==" in out and "hello" in out
+
+    def test_table_wrong_arity(self):
+        t = Table("t", ["x", "y"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_table_column(self):
+        t = Table("t", ["x", "y"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("y") == [2, 4]
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_table_csv(self, tmp_path):
+        t = Table("t", ["x"])
+        t.add(1)
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        assert path.read_text().splitlines() == ["x", "1"]
+
+
+class TestTableDrivers:
+    def test_table2(self):
+        t = table2_inputs(**TINY)
+        assert len(t.rows) == 6
+        assert all(r[1] > 0 for r in t.rows)
+
+    def test_table3(self):
+        t = table3_balance(inputs=("channel",), num_threads=4, **TINY)
+        assert len(t.rows) == 1
+        assert "%" in t.rows[0][1]
+
+    def test_table4(self):
+        t = table4_tilera(inputs=("channel",), **TINY)
+        assert len(t.rows) == 1
+        assert len(t.rows[0]) == 8  # input + 7 thread counts
+
+    def test_table5(self):
+        t = table5_x86(inputs=("channel",), **TINY)
+        assert len(t.rows[0]) == 6
+
+    def test_table6(self):
+        t = table6_schemes(inputs=("channel",), num_threads=8, **TINY)
+        row = t.rows[0]
+        assert row[2] <= row[1]  # sched-rev not slower than vff
+
+    def test_table7(self):
+        t = table7_community(inputs=("channel",), num_threads=8,
+                             max_iterations=5, **TINY)
+        assert len(t.rows) == 1
+        q_skew, q_bal = t.rows[0][3], t.rows[0][6]
+        assert 0 <= q_skew <= 1 and 0 <= q_bal <= 1
+
+
+class TestFigureDrivers:
+    def test_fig1a(self):
+        t = fig1a_ff_skew(**TINY)
+        assert t.rows[0][1] >= t.rows[-1][1]  # decreasing sizes overall
+
+    def test_fig1b(self):
+        t = fig1b_modularity(num_threads=8, max_iterations=4, **TINY)
+        assert t.headers == ["iteration", "serial", "wo_coloring",
+                             "w_coloring_skewed", "w_coloring_balanced"]
+        assert len(t.rows) >= 2
+
+    def test_fig2(self):
+        t = fig2_distributions(input_name="channel", **TINY)
+        assert "vff" in t.headers and "greedy-random" in t.headers
+
+    def test_fig3ab(self):
+        til, x86 = fig3ab_speedups(inputs=("channel",), **TINY)
+        assert til.rows[0][1] == pytest.approx(1.0)  # baseline speedup
+        assert x86.rows[0][1] == pytest.approx(1.0)
+
+    def test_fig3c(self):
+        t = fig3c_uk2002(num_threads=8, max_iterations=4, **TINY)
+        assert len(t.rows) >= 2
+
+
+class TestAblationDrivers:
+    def test_sched_fill_order(self):
+        t = ablation_sched_fill_order(inputs=("cnr",), num_threads=4, **TINY)
+        assert t.rows[0][2] >= 0 and t.rows[0][4] >= 0
+
+    def test_orderings(self):
+        t = ablation_orderings(inputs=("cnr",), **TINY)
+        assert len(t.rows) == 2  # cnr + the ER control
+
+    def test_iterated_greedy_never_increases(self):
+        t = ablation_iterated_greedy(inputs=("cnr",), iterations=3, **TINY)
+        for row in t.rows:
+            counts = row[1:]
+            assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_conflicts_vs_threads(self):
+        t = ablation_conflicts_vs_threads(thread_counts=(1, 4, 16), **TINY)
+        assert t.column("conflicts")[0] == 0  # single thread never conflicts
+
+
+class TestKempeAblation:
+    def test_kempe_improves(self):
+        from repro.experiments import ablation_kempe
+
+        t = ablation_kempe(inputs=("channel",), **TINY)
+        row = t.rows[0]
+        assert row[2] < row[1]  # kempe RSD below FF RSD
+
+
+class TestNewAblations:
+    def test_page_policy_shape(self):
+        from repro.experiments import ablation_page_policy
+
+        t = ablation_page_policy()
+        assert t.column("hashed")[-1] < t.column("homed")[-1]
+
+    def test_color_all_phases(self):
+        from repro.experiments import ablation_color_all_phases
+
+        t = ablation_color_all_phases(scale=0.05, inputs=("cnr",),
+                                      num_threads=8, max_iterations=5)
+        assert len(t.rows) == 1
+
+
+class TestFormatting:
+    def test_fmt_large_and_small_floats(self):
+        out = format_table(["x"], [[123456.789], [0.00001234], [0.0]])
+        assert "1.23e+05" in out
+        assert "1.23e-05" in out
+
+    def test_fmt_strings_passthrough(self):
+        out = format_table(["x"], [["hello"]])
+        assert "hello" in out

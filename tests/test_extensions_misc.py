@@ -1,0 +1,131 @@
+"""Tests for the Sec.-V page-policy model, SOR, all-phase coloring, trace I/O."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring
+from repro.community import parallel_louvain
+from repro.machine.tilera import TILERA_NOC, page_policy_access_ns
+from repro.parallel.engine import ExecutionTrace, SuperstepRecord, TickMachine
+from repro.solver import laplacian_system, multicolor_gauss_seidel
+
+
+class TestPagePolicy:
+    def test_local_is_cheapest(self):
+        assert page_policy_access_ns("local") < page_policy_access_ns("hashed")
+
+    def test_hashed_flat_in_contention(self):
+        lo = page_policy_access_ns("hashed", num_accessing_tiles=1)
+        hi = page_policy_access_ns("hashed", num_accessing_tiles=36)
+        assert hi <= lo * 1.2
+
+    def test_homed_saturates(self):
+        lo = page_policy_access_ns("homed", num_accessing_tiles=1)
+        hi = page_policy_access_ns("homed", num_accessing_tiles=36)
+        assert hi > 2 * lo
+
+    def test_hashed_wins_under_contention(self):
+        # the paper's Sec. V finding: hashed is the right policy for the
+        # shared arrays once many tiles access them
+        for p in (8, 16, 36):
+            assert (page_policy_access_ns("hashed", num_accessing_tiles=p)
+                    < page_policy_access_ns("homed", num_accessing_tiles=p))
+
+    def test_equal_when_uncontended(self):
+        assert page_policy_access_ns("hashed", num_accessing_tiles=1) == pytest.approx(
+            page_policy_access_ns("homed", num_accessing_tiles=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            page_policy_access_ns("striped")
+        with pytest.raises(ValueError):
+            page_policy_access_ns("hashed", num_accessing_tiles=0)
+        with pytest.raises(ValueError):
+            page_policy_access_ns("hashed", num_accessing_tiles=TILERA_NOC.num_tiles + 1)
+
+
+class TestSOR:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.graph import grid_3d_graph
+
+        return laplacian_system(grid_3d_graph(5, 5, 5, stencil=6), seed=0)
+
+    def test_omega_one_is_gauss_seidel(self, system):
+        coloring = greedy_coloring(system.graph)
+        a = multicolor_gauss_seidel(system, coloring, tol=1e-8)
+        b = multicolor_gauss_seidel(system, coloring, tol=1e-8, omega=1.0)
+        assert np.allclose(a.x, b.x)
+        assert a.sweeps == b.sweeps
+
+    def test_over_relaxation_accelerates(self, system):
+        coloring = greedy_coloring(system.graph)
+        gs = multicolor_gauss_seidel(system, coloring, tol=1e-8)
+        sor = multicolor_gauss_seidel(system, coloring, tol=1e-8, omega=1.3)
+        assert sor.converged
+        assert sor.sweeps <= gs.sweeps
+
+    def test_sor_solution_correct(self, system):
+        coloring = greedy_coloring(system.graph)
+        res = multicolor_gauss_seidel(system, coloring, tol=1e-10, omega=1.4)
+        expected = np.linalg.solve(np.asarray(system.matrix.todense()), system.rhs)
+        assert np.allclose(res.x, expected, atol=1e-7)
+
+    def test_omega_bounds(self, system):
+        coloring = greedy_coloring(system.graph)
+        for bad in (0.0, 2.0, -0.5):
+            with pytest.raises(ValueError, match="omega"):
+                multicolor_gauss_seidel(system, coloring, omega=bad)
+
+
+class TestColorAllPhases:
+    def test_quality_preserved(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        default = parallel_louvain(small_cnr, num_threads=8, coloring=init)
+        all_ph = parallel_louvain(small_cnr, num_threads=8, coloring=init,
+                                  color_all_phases=True)
+        assert abs(all_ph.modularity - default.modularity) < 0.1
+        assert all_ph.mode == "colored-all-phases"
+
+    def test_trace_includes_recoloring_cost(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        default = parallel_louvain(small_cnr, num_threads=8, coloring=init)
+        all_ph = parallel_louvain(small_cnr, num_threads=8, coloring=init,
+                                  color_all_phases=True)
+        # re-coloring later phases adds atomics the default run never pays
+        assert all_ph.trace.total_atomics > default.trace.total_atomics
+
+
+class TestTraceSerialization:
+    def _trace(self):
+        m = TickMachine(3, algorithm="demo")
+        r = m.new_superstep()
+        m.charge(r, 0, 10)
+        m.charge(r, 1, 5)
+        r.atomic_ops = 7
+        r.shared_reads = 3
+        r.conflicts = 1
+        m.trace.add(r)
+        m.charge_serial(42)
+        return m.trace
+
+    def test_roundtrip(self):
+        t = self._trace()
+        back = ExecutionTrace.from_dict(json.loads(json.dumps(t.to_dict())))
+        assert back.num_threads == t.num_threads
+        assert back.algorithm == t.algorithm
+        assert back.total_work == t.total_work
+        assert back.total_atomics == t.total_atomics
+        assert back.total_conflicts == t.total_conflicts
+        assert back.serial_work == t.serial_work
+        assert back.supersteps[0].max_item_work == t.supersteps[0].max_item_work
+
+    def test_pricing_invariant_under_roundtrip(self):
+        from repro.machine import estimate_time, tilegx36
+
+        t = self._trace()
+        back = ExecutionTrace.from_dict(t.to_dict())
+        assert estimate_time(back, tilegx36()).total_s == pytest.approx(
+            estimate_time(t, tilegx36()).total_s)

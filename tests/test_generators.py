@@ -1,0 +1,186 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clique_overlay_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    grid_3d_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+    road_network_graph,
+    star_graph,
+)
+
+
+class TestTextbook:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_empty_negative_rejected(self):
+        with pytest.raises(ValueError):
+            empty_graph(-1)
+
+    def test_path_edges(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert g.has_edge(0, 1) and g.has_edge(4, 5)
+
+    def test_path_degenerate(self):
+        assert path_graph(1).num_edges == 0
+        assert path_graph(0).num_vertices == 0
+
+    def test_cycle_regular(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degrees == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 5
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degrees == 5)
+
+    def test_complete_trivial(self):
+        assert complete_graph(0).num_vertices == 0
+        assert complete_graph(1).num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_density_close_to_p(self):
+        n, p = 400, 0.05
+        g = erdos_renyi_graph(n, p, seed=0)
+        expected = p * n * (n - 1) / 2
+        assert 0.8 * expected < g.num_edges < 1.2 * expected
+
+    def test_p_zero(self):
+        assert erdos_renyi_graph(50, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_dense_path(self):
+        g = erdos_renyi_graph(20, 1.0, seed=0)
+        assert g.num_edges == 190
+
+    def test_dense_regime(self):
+        g = erdos_renyi_graph(50, 0.5, seed=0)
+        assert 400 < g.num_edges < 850
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(100, 0.1, seed=3)
+        b = erdos_renyi_graph(100, 0.1, seed=3)
+        assert a == b
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(10, 8.0, seed=0)
+        assert g.num_vertices == 1024
+        # duplicates are collapsed, so below the target but same order
+        assert 0.5 * 8 * 1024 < g.num_edges <= 8 * 1024
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(11, 8.0, seed=0)
+        deg = np.sort(g.degrees)[::-1]
+        assert deg[0] > 8 * deg[len(deg) // 2 or 1]  # heavy tail
+
+    def test_deterministic(self):
+        assert rmat_graph(8, 4.0, seed=1) == rmat_graph(8, 4.0, seed=1)
+
+    def test_bad_probs_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_graph(6, 4.0, a=0.9, b=0.2, c=0.2)
+
+
+class TestGrid3d:
+    @pytest.mark.parametrize("stencil,expected_max", [(6, 6), (18, 18), (26, 26)])
+    def test_interior_degree(self, stencil, expected_max):
+        g = grid_3d_graph(5, 5, 5, stencil=stencil)
+        assert g.max_degree == expected_max
+
+    def test_vertex_count(self):
+        assert grid_3d_graph(3, 4, 5).num_vertices == 60
+
+    def test_six_stencil_edge_count(self):
+        # 3 directions of (nx-1)*ny*nz style products
+        g = grid_3d_graph(3, 3, 3, stencil=6)
+        assert g.num_edges == 3 * (2 * 3 * 3)
+
+    def test_bad_stencil(self):
+        with pytest.raises(ValueError):
+            grid_3d_graph(3, 3, 3, stencil=7)
+
+
+class TestRoadNetwork:
+    def test_avg_degree_near_two(self):
+        g = road_network_graph(5000, seed=0)
+        avg = 2 * g.num_edges / g.num_vertices
+        assert 2.0 <= avg < 2.6
+
+    def test_connected_tree_backbone(self):
+        from repro.graph.properties import connected_components
+
+        g = road_network_graph(500, seed=1)
+        assert len(np.unique(connected_components(g))) == 1
+
+    def test_single_vertex(self):
+        assert road_network_graph(1).num_edges == 0
+
+    def test_small_max_degree(self):
+        g = road_network_graph(3000, seed=2)
+        assert g.max_degree < 30
+
+
+class TestCliqueOverlay:
+    def test_contains_large_color_forcing_clique(self):
+        g = clique_overlay_graph(500, 40, min_size=10, max_size=20, seed=0)
+        # a clique of size >= min_size forces at least that many colors
+        from repro.coloring import greedy_coloring
+
+        assert greedy_coloring(g).num_colors >= 10
+
+    def test_base_edges_included(self):
+        base = path_graph(100)
+        g = clique_overlay_graph(100, 5, min_size=3, max_size=5, base=base, seed=0)
+        for u, v in base.edges():
+            assert g.has_edge(u, v)
+
+    def test_base_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            clique_overlay_graph(50, 3, base=path_graph(10))
+
+    def test_max_size_exceeds_n_rejected(self):
+        with pytest.raises(ValueError):
+            clique_overlay_graph(5, 2, min_size=3, max_size=10)
+
+    def test_sizes_within_bounds(self):
+        # indirectly: edges bounded by num_cliques * C(max_size, 2)
+        g = clique_overlay_graph(300, 10, min_size=3, max_size=6, seed=0)
+        assert g.num_edges <= 10 * 15
+
+
+class TestPowerlawCluster:
+    def test_size_and_degrees(self):
+        g = powerlaw_cluster_graph(300, 3, seed=0)
+        assert g.num_vertices == 300
+        assert g.num_edges >= 3 * (300 - 3) * 0.9
+
+    def test_attach_bounds(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(5, 5)

@@ -1,0 +1,51 @@
+"""Golden regression tests: exact pinned outputs for fixed seeds.
+
+Everything in this library is deterministic given (scale, seed), so these
+values must never drift silently — a change here means an algorithm or a
+generator changed behavior, which must be deliberate and documented.
+"""
+
+import pytest
+
+from repro.coloring import balance_report, color_and_balance, greedy_coloring
+from repro.community import louvain
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def cnr06():
+    return load_dataset("cnr", scale=0.06, seed=1)
+
+
+class TestGoldenGraphs:
+    def test_cnr_structure(self, cnr06):
+        assert cnr06.num_vertices == 1024
+        assert cnr06.num_edges == 11063
+
+    def test_channel_structure(self):
+        g = load_dataset("channel", scale=0.1, seed=0)
+        assert g.num_vertices == 1152
+        assert g.num_edges == 8752
+
+
+class TestGoldenColoring:
+    def test_ff_colors_and_skew(self, cnr06):
+        init = greedy_coloring(cnr06)
+        assert init.num_colors == 40
+        assert balance_report(init).rsd_percent == pytest.approx(259.35, abs=0.01)
+
+    def test_vff_result(self, cnr06):
+        vff = color_and_balance(cnr06, "vff")
+        assert balance_report(vff).rsd_percent == pytest.approx(8.55, abs=0.01)
+        assert vff.meta["moves"] == 692
+
+    def test_channel_ff_colors(self):
+        g = load_dataset("channel", scale=0.1, seed=0)
+        assert greedy_coloring(g).num_colors == 12
+
+
+class TestGoldenCommunity:
+    def test_louvain_modularity(self, cnr06):
+        res = louvain(cnr06)
+        assert res.modularity == pytest.approx(0.49133, abs=1e-5)
+        assert res.num_communities == 162

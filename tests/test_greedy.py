@@ -1,0 +1,133 @@
+"""Tests for sequential Greedy coloring (Algorithm 1 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import assert_proper, greedy_coloring, is_proper
+from repro.graph import complete_graph, cycle_graph, erdos_renyi_graph, path_graph, star_graph
+from repro.graph.properties import core_number
+
+
+class TestFirstFit:
+    def test_path_two_colors(self, path10):
+        c = greedy_coloring(path10)
+        assert c.num_colors == 2
+        assert_proper(path10, c)
+
+    def test_even_cycle_two_colors(self):
+        g = cycle_graph(8)
+        assert greedy_coloring(g).num_colors == 2
+
+    def test_odd_cycle_three_colors(self, cycle5):
+        assert greedy_coloring(cycle5).num_colors == 3
+
+    def test_clique_exact(self, k5):
+        c = greedy_coloring(k5)
+        assert c.num_colors == 5
+        assert_proper(k5, c)
+
+    def test_star_two_colors(self, star8):
+        assert greedy_coloring(star8).num_colors == 2
+
+    def test_delta_plus_one_bound_any_order(self, random_graph):
+        for ordering in ("natural", "random", "largest_first"):
+            c = greedy_coloring(random_graph, ordering=ordering, seed=1)
+            assert c.num_colors <= random_graph.max_degree + 1
+            assert_proper(random_graph, c)
+
+    def test_core_bound_with_smallest_last(self):
+        g = erdos_renyi_graph(300, 0.04, seed=2)
+        c = greedy_coloring(g, ordering="smallest_last")
+        assert c.num_colors <= core_number(g) + 1
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        c = greedy_coloring(empty_graph(0))
+        assert c.num_colors == 0
+        assert c.num_vertices == 0
+
+    def test_isolated_vertices_one_color(self):
+        from repro.graph import empty_graph
+
+        c = greedy_coloring(empty_graph(5))
+        assert c.num_colors == 1
+
+    def test_explicit_ordering(self, path10):
+        order = np.arange(10)[::-1]
+        c = greedy_coloring(path10, ordering=order)
+        assert_proper(path10, c)
+
+    def test_bad_explicit_ordering(self, path10):
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_coloring(path10, ordering=np.array([0, 0, 1, 2, 3, 4, 5, 6, 7, 8]))
+
+    def test_strategy_label(self, path10):
+        assert greedy_coloring(path10).strategy == "greedy-ff"
+
+    def test_ff_is_deterministic(self, random_graph):
+        a = greedy_coloring(random_graph)
+        b = greedy_coloring(random_graph)
+        assert np.array_equal(a.colors, b.colors)
+
+
+class TestLeastUsed:
+    def test_proper(self, random_graph):
+        c = greedy_coloring(random_graph, choice="lu")
+        assert_proper(random_graph, c)
+
+    def test_no_more_than_delta_plus_one(self, random_graph):
+        c = greedy_coloring(random_graph, choice="lu")
+        assert c.num_colors <= random_graph.max_degree + 1
+
+    def test_at_least_as_many_colors_as_ff(self, small_cnr):
+        ff = greedy_coloring(small_cnr)
+        lu = greedy_coloring(small_cnr, choice="lu")
+        assert lu.num_colors >= ff.num_colors
+
+    def test_balances_better_than_ff(self, small_cnr):
+        from repro.coloring import balance_report
+
+        ff = balance_report(greedy_coloring(small_cnr))
+        lu = balance_report(greedy_coloring(small_cnr, choice="lu"))
+        assert lu.rsd_percent < ff.rsd_percent
+
+    def test_clique(self, k5):
+        c = greedy_coloring(k5, choice="lu")
+        assert c.num_colors == 5
+
+
+class TestRandomChoice:
+    def test_proper(self, random_graph):
+        c = greedy_coloring(random_graph, choice="random", seed=0)
+        assert_proper(random_graph, c)
+
+    def test_within_default_palette(self, random_graph):
+        c = greedy_coloring(random_graph, choice="random", seed=0)
+        assert c.num_colors <= random_graph.max_degree + 1
+
+    def test_deterministic_by_seed(self, random_graph):
+        a = greedy_coloring(random_graph, choice="random", seed=9)
+        b = greedy_coloring(random_graph, choice="random", seed=9)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_tight_palette_overflow_fallback(self, k5):
+        # B=2 on K5: impossible within palette, must overflow but stay proper
+        c = greedy_coloring(k5, choice="random", seed=0, palette_bound=2)
+        assert is_proper(k5, c)
+        assert c.num_colors >= 5
+
+    def test_palette_bound_validation(self, k5):
+        with pytest.raises(ValueError):
+            greedy_coloring(k5, choice="random", palette_bound=0)
+
+    def test_uses_more_colors_than_ff(self, small_cnr):
+        ff = greedy_coloring(small_cnr)
+        rnd = greedy_coloring(small_cnr, choice="random", seed=0)
+        assert rnd.num_colors >= ff.num_colors
+
+
+class TestArguments:
+    def test_bad_choice(self, path10):
+        with pytest.raises(ValueError, match="choice"):
+            greedy_coloring(path10, choice="smallest")

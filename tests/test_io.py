@@ -1,0 +1,80 @@
+"""Tests for graph file I/O."""
+
+import gzip
+
+import pytest
+
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, petersen, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(petersen, path)
+        back = read_matrix_market(path)
+        assert back == petersen
+
+    def test_general_coordinate_accepted(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 4\n"
+            "1 2 1.5\n"
+            "2 1 1.5\n"
+            "2 3 2.0\n"
+            "3 3 9.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2  # self-loop (3,3) dropped, (1,2) deduped
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "g.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_not_matrix_market_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError, match="not a MatrixMarket"):
+            read_matrix_market(path)
+
+    def test_array_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_rectangular_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n")
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, random_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(random_graph, path)
+        back = read_edge_list(path, num_vertices=random_graph.num_vertices)
+        assert back == random_graph
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n% another\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 3.5\n1 2 0.1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2

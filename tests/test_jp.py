@@ -1,0 +1,64 @@
+"""Tests for Jones-Plassmann coloring and the GJP balanced baseline."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import assert_proper, balance_report, greedy_coloring, jones_plassmann
+
+
+class TestJonesPlassmann:
+    @pytest.mark.parametrize("weighting", ["random", "largest_first", "smallest_last"])
+    @pytest.mark.parametrize("choice", ["ff", "lu"])
+    def test_proper_and_bounded(self, small_cnr, weighting, choice):
+        c = jones_plassmann(small_cnr, weighting=weighting, choice=choice, seed=0)
+        assert_proper(small_cnr, c)
+        assert c.num_colors <= small_cnr.max_degree + 1
+
+    def test_deterministic_by_seed(self, small_cnr):
+        a = jones_plassmann(small_cnr, seed=4)
+        b = jones_plassmann(small_cnr, seed=4)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_thread_count_invariant(self, small_cnr):
+        # unlike the speculative schemes, JP is fixed by its weights
+        a = jones_plassmann(small_cnr, seed=0, num_threads=1)
+        b = jones_plassmann(small_cnr, seed=0, num_threads=16)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_rounds_recorded(self, small_cnr):
+        c = jones_plassmann(small_cnr, seed=0)
+        assert c.meta["rounds"] >= 1
+        assert c.meta["trace"].num_supersteps == c.meta["rounds"]
+
+    def test_rounds_scale_with_structure(self, path10, k5):
+        # a clique needs |V| rounds (one local max at a time among mutually
+        # adjacent vertices); a path needs only a few
+        assert jones_plassmann(k5, seed=0).meta["rounds"] == 5
+        assert jones_plassmann(path10, seed=0).meta["rounds"] <= 6
+
+    def test_lu_balances_better_than_ff(self, small_cnr):
+        ff = balance_report(jones_plassmann(small_cnr, choice="ff", seed=0))
+        lu = balance_report(jones_plassmann(small_cnr, choice="lu", seed=0))
+        assert lu.rsd_percent < ff.rsd_percent
+
+    def test_gjp_baseline_weaker_than_vff(self, small_cnr):
+        """The paper's point: prior balanced heuristics leave residual skew
+        that the guided schemes eliminate."""
+        from repro.coloring import shuffle_balance
+
+        gjp = balance_report(jones_plassmann(small_cnr, choice="lu", seed=0))
+        init = greedy_coloring(small_cnr)
+        vff = balance_report(shuffle_balance(small_cnr, init))
+        assert vff.rsd_percent < gjp.rsd_percent
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        c = jones_plassmann(empty_graph(0), seed=0)
+        assert c.num_colors == 0
+
+    def test_bad_args(self, path10):
+        with pytest.raises(ValueError, match="weighting"):
+            jones_plassmann(path10, weighting="zz")
+        with pytest.raises(ValueError, match="choice"):
+            jones_plassmann(path10, choice="zz")

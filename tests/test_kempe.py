@@ -1,0 +1,94 @@
+"""Tests for Kempe-chain rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_report,
+    greedy_coloring,
+    kempe_balance,
+    kempe_chains,
+)
+from repro.graph import cycle_graph, path_graph
+
+
+class TestKempeChains:
+    def test_path_chain_structure(self, path10):
+        colors = np.arange(10) % 2  # alternating: one chain spanning all
+        members, labels = kempe_chains(path10, colors, 0, 1)
+        assert members.shape[0] == 10
+        assert np.unique(labels).shape[0] == 1
+
+    def test_disjoint_pairs_are_separate_chains(self):
+        g = path_graph(4)
+        colors = np.array([0, 1, 2, 0])
+        members, labels = kempe_chains(g, colors, 0, 1)
+        # vertices 0,1 form a chain; vertex 3 is its own chain
+        assert members.tolist() == [0, 1, 3]
+        assert labels[0] == labels[1] != labels[2]
+
+    def test_empty_pair(self, path10):
+        colors = np.zeros(10, dtype=np.int64)
+        members, labels = kempe_chains(path10, colors, 5, 6)
+        assert members.shape[0] == 0
+
+
+class TestKempeBalance:
+    def test_proper_and_same_colors(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = kempe_balance(small_cnr, init)
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+    def test_improves_balance_strongly(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = kempe_balance(small_cnr, init)
+        assert balance_report(out).rsd_percent < 0.3 * balance_report(init).rsd_percent
+
+    def test_already_balanced_noop(self):
+        g = path_graph(6)
+        init = greedy_coloring(g)  # 3/3
+        out = kempe_balance(g, init)
+        assert np.array_equal(out.colors, init.colors)
+        assert out.meta["swaps"] == 0
+
+    def test_swap_preserves_total(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = kempe_balance(small_cnr, init)
+        assert out.class_sizes().sum() == small_cnr.num_vertices
+
+    def test_odd_cycle(self):
+        g = cycle_graph(9)
+        init = greedy_coloring(g)  # sizes [4, 4, 1]
+        out = kempe_balance(g, init)
+        assert_proper(g, out)
+        sizes = np.sort(out.class_sizes())
+        init_sizes = np.sort(init.class_sizes())
+        assert sizes[-1] - sizes[0] <= init_sizes[-1] - init_sizes[0]
+
+    def test_single_color(self):
+        from repro.graph import empty_graph
+        from repro.coloring import Coloring
+
+        g = empty_graph(4)
+        init = Coloring(np.zeros(4, dtype=np.int64), 1)
+        out = kempe_balance(g, init)
+        assert out.num_colors == 1
+
+    def test_registry_dispatch(self, small_cnr):
+        from repro.coloring import color_and_balance
+
+        out = color_and_balance(small_cnr, "kempe")
+        assert_proper(small_cnr, out)
+        assert out.strategy == "kempe"
+
+    def test_max_passes_validation(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError):
+            kempe_balance(small_cnr, init, max_passes=0)
+
+    def test_graph_mismatch(self, small_cnr, path10):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="match"):
+            kempe_balance(path10, init)

@@ -1,0 +1,90 @@
+"""Tests for serial Louvain."""
+
+import numpy as np
+import pytest
+
+from repro.community import WeightedGraph, louvain, louvain_phase, modularity
+from repro.community.louvain import best_move
+
+
+class TestBestMove:
+    def test_joins_clique_neighbors(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm = np.arange(10, dtype=np.int64)
+        comm[:5] = 0  # first clique united except we test vertex 6
+        tot = np.zeros(10)
+        np.add.at(tot, comm, wg.strengths)
+        target = best_move(wg, 6, comm, tot, wg.total_weight)
+        assert target in {5, 7, 8, 9}  # one of its clique's labels
+
+    def test_isolated_vertex_stays(self):
+        from repro.graph import empty_graph
+
+        wg = WeightedGraph.from_csr(empty_graph(3))
+        comm = np.arange(3, dtype=np.int64)
+        assert best_move(wg, 0, comm, wg.strengths.copy(), 1.0) == 0
+
+
+class TestLouvainPhase:
+    def test_two_cliques_found(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm, history = louvain_phase(wg)
+        labels = np.unique(comm)
+        assert len(labels) == 2
+        assert len(np.unique(comm[:5])) == 1
+        assert len(np.unique(comm[5:])) == 1
+
+    def test_history_is_nondecreasing_at_convergence(self, small_cnr):
+        wg = WeightedGraph.from_csr(small_cnr)
+        _, history = louvain_phase(wg)
+        assert len(history) >= 1
+        for a, b in zip(history, history[1:]):
+            assert b >= a - 1e-9
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        wg = WeightedGraph.from_csr(empty_graph(0))
+        comm, history = louvain_phase(wg)
+        assert comm.size == 0
+
+
+class TestLouvainFull:
+    def test_two_cliques(self, two_cliques):
+        res = louvain(two_cliques)
+        assert res.num_communities == 2
+        assert res.modularity > 0.4
+
+    def test_modularity_matches_membership(self, small_cnr):
+        res = louvain(small_cnr)
+        assert res.modularity == pytest.approx(
+            modularity(small_cnr, res.communities))
+
+    def test_improves_over_singletons(self, small_cnr):
+        res = louvain(small_cnr)
+        singles = modularity(small_cnr, np.arange(small_cnr.num_vertices))
+        assert res.modularity > singles
+
+    def test_membership_covers_all_vertices(self, small_cnr):
+        res = louvain(small_cnr)
+        assert res.communities.shape[0] == small_cnr.num_vertices
+        assert res.communities.min() >= 0
+
+    def test_ring_of_cliques(self):
+        # 4 cliques of 5 in a ring: Louvain should find the 4 cliques
+        from repro.graph import from_edge_list
+
+        edges = []
+        for c in range(4):
+            base = 5 * c
+            edges += [(base + i, base + j) for i in range(5) for j in range(i + 1, 5)]
+            edges.append((base, 5 * ((c + 1) % 4) + 1))
+        g = from_edge_list(edges)
+        res = louvain(g)
+        assert res.num_communities == 4
+        assert res.modularity > 0.5
+
+    def test_phases_recorded(self, small_cnr):
+        res = louvain(small_cnr)
+        assert res.num_phases >= 1
+        assert len(res.phase_histories) == res.num_phases

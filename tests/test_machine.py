@@ -1,0 +1,219 @@
+"""Tests for the machine models: NoC, caches, cost model, platforms."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CacheHierarchy,
+    CacheLevel,
+    MachineModel,
+    MeshNoC,
+    estimate_time,
+    tilegx36,
+    xeon_x7560,
+)
+from repro.parallel.engine import ExecutionTrace, SuperstepRecord
+
+
+class TestMeshNoC:
+    def test_coords_row_major(self):
+        noc = MeshNoC(6, 6)
+        assert noc.coords(0) == (0, 0)
+        assert noc.coords(7) == (1, 1)
+        assert noc.coords(35) == (5, 5)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            MeshNoC(2, 2).coords(4)
+
+    def test_hops_manhattan(self):
+        noc = MeshNoC(6, 6)
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 35) == 10
+        assert noc.hops(0, 5) == 5
+
+    def test_hops_symmetric(self):
+        noc = MeshNoC(4, 4)
+        for a in range(16):
+            for b in range(16):
+                assert noc.hops(a, b) == noc.hops(b, a)
+
+    def test_latency_monotone_in_hops(self):
+        noc = MeshNoC(6, 6)
+        assert noc.latency_ns(0, 1) < noc.latency_ns(0, 35)
+
+    def test_mean_hops_matches_bruteforce(self):
+        noc = MeshNoC(4, 3)
+        pairs = [(a, b) for a in range(12) for b in range(12)]
+        brute = np.mean([noc.hops(a, b) for a, b in pairs])
+        assert noc.mean_hops() == pytest.approx(brute)
+
+    def test_remote_rmw_exceeds_round_trip(self):
+        noc = MeshNoC(6, 6)
+        assert noc.remote_rmw_ns() > 2 * noc.mean_latency_ns()
+
+    def test_bisection(self):
+        assert MeshNoC(6, 6).bisection_links() == 6
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MeshNoC(0, 4)
+
+
+class TestCacheHierarchy:
+    def _hier(self):
+        return CacheHierarchy(
+            levels=(CacheLevel("L1", 1024, 1.0), CacheLevel("L2", 16 * 1024, 10.0)),
+            memory_latency_ns=100.0,
+        )
+
+    def test_tiny_working_set_hits_l1(self):
+        assert self._hier().avg_access_ns(512) == pytest.approx(1.0)
+
+    def test_huge_working_set_near_memory(self):
+        assert self._hier().avg_access_ns(10**9) == pytest.approx(100.0, rel=0.01)
+
+    def test_monotone_in_working_set(self):
+        h = self._hier()
+        sizes = [512, 2048, 16 * 1024, 10**6]
+        vals = [h.avg_access_ns(s) for s in sizes]
+        assert vals == sorted(vals)
+
+    def test_partial_coverage_blend(self):
+        h = self._hier()
+        # 2048-byte WS: half in L1 (1ns), half in L2 (10ns)
+        assert h.avg_access_ns(2048) == pytest.approx(5.5)
+
+    def test_misordered_levels_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                levels=(CacheLevel("L2", 2048, 5.0), CacheLevel("L1", 1024, 1.0)),
+                memory_latency_ns=50.0,
+            )
+
+    def test_nonpositive_ws_rejected(self):
+        with pytest.raises(ValueError):
+            self._hier().avg_access_ns(0)
+
+
+def _trace(p, work_per_thread, atomics=0, bins=1, reads=0, barriers=2, serial=0.0):
+    t = ExecutionTrace(num_threads=p, serial_work=serial)
+    r = SuperstepRecord(work_per_thread=np.asarray(work_per_thread, dtype=float))
+    # treat each thread's load as one indivisible item so the dynamic
+    # scheduling span equals the static busiest-thread bound in these tests
+    r.max_item_work = float(np.max(work_per_thread)) if len(work_per_thread) else 0.0
+    r.atomic_ops = atomics
+    r.distinct_bins = bins
+    r.shared_reads = reads
+    r.barriers = barriers
+    t.add(r)
+    return t
+
+
+class TestEstimateTime:
+    def _machine(self, **kw):
+        base = dict(
+            name="toy", num_cores=8, freq_ghz=1.0, work_ns=10.0,
+            mem_bw_work_ns=0.0, atomic_ns=100.0, atomic_ping_ns=0.0,
+            shared_read_local_ns=1.0, shared_read_remote_ns=50.0,
+            barrier_base_ns=1000.0, barrier_per_thread_ns=0.0,
+        )
+        base.update(kw)
+        return MachineModel(**base)
+
+    def test_work_is_critical_path(self):
+        m = self._machine()
+        bd = estimate_time(_trace(2, [100, 50], barriers=0), m)
+        assert bd.work_s == pytest.approx(100 * 10 * 1e-9)
+
+    def test_bandwidth_floor_binds(self):
+        m = self._machine(mem_bw_work_ns=20.0)
+        bd = estimate_time(_trace(2, [100, 100], barriers=0), m)
+        assert bd.work_s == pytest.approx(200 * 20 * 1e-9)
+
+    def test_atomic_serialization_on_one_bin(self):
+        m = self._machine()
+        bd = estimate_time(_trace(4, [0, 0, 0, 0], atomics=100, bins=1, barriers=0), m)
+        # one counter: ops serialize fully
+        assert bd.atomic_s == pytest.approx(100 * 100 * 1e-9)
+
+    def test_atomic_parallel_over_many_bins(self):
+        m = self._machine()
+        bd = estimate_time(_trace(4, [0, 0, 0, 0], atomics=100, bins=100, barriers=0), m)
+        assert bd.atomic_s == pytest.approx(100 / 4 * 100 * 1e-9)
+
+    def test_atomic_ping_grows_with_threads(self):
+        m = self._machine(atomic_ping_ns=1000.0)
+        lo = estimate_time(_trace(2, [0, 0], atomics=10, bins=1, barriers=0), m)
+        hi = estimate_time(_trace(8, [0] * 8, atomics=10, bins=1, barriers=0), m)
+        assert hi.atomic_s > lo.atomic_s
+
+    def test_shared_reads_local_vs_remote(self):
+        m = self._machine()
+        solo = estimate_time(_trace(1, [0], reads=100, bins=50, barriers=0), m)
+        multi = estimate_time(_trace(4, [0] * 4, reads=100, bins=50, barriers=0), m)
+        assert solo.shared_read_s == pytest.approx(100 * 1.0 * 1e-9)
+        assert multi.shared_read_s > solo.shared_read_s
+
+    def test_barrier_cost(self):
+        m = self._machine(barrier_per_thread_ns=100.0)
+        bd = estimate_time(_trace(4, [0] * 4, barriers=3), m)
+        assert bd.barrier_s == pytest.approx(3 * (1000 + 400) * 1e-9)
+
+    def test_serial_section(self):
+        m = self._machine()
+        bd = estimate_time(_trace(2, [0, 0], barriers=0, serial=500), m)
+        assert bd.serial_s == pytest.approx(500 * 10 * 1e-9)
+
+    def test_coherence_floor_activates_across_sockets(self):
+        m = self._machine(cores_per_socket=2, coherence_floor_ns=100.0)
+        within = estimate_time(_trace(2, [0, 0], atomics=10, reads=90, bins=100, barriers=0), m)
+        across = estimate_time(_trace(4, [0] * 4, atomics=10, reads=90, bins=100, barriers=0), m)
+        floor_s = 100 * 100 * 1e-9
+        assert across.atomic_s + across.shared_read_s >= floor_s - 1e-15
+        assert within.atomic_s + within.shared_read_s < floor_s
+
+    def test_too_many_threads_rejected(self):
+        m = self._machine(num_cores=2)
+        with pytest.raises(ValueError, match="cores"):
+            estimate_time(_trace(4, [0] * 4), m)
+
+    def test_total_is_sum(self):
+        m = self._machine()
+        bd = estimate_time(_trace(2, [10, 5], atomics=5, reads=5, bins=2, serial=10), m)
+        assert bd.total_s == pytest.approx(
+            bd.work_s + bd.atomic_s + bd.shared_read_s + bd.barrier_s + bd.serial_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._machine(num_cores=0)
+        with pytest.raises(ValueError):
+            self._machine(work_ns=0)
+        with pytest.raises(ValueError):
+            self._machine(atomic_ping_ns=-1)
+
+
+class TestPlatforms:
+    def test_xeon_shape(self):
+        m = xeon_x7560()
+        assert m.num_cores == 32
+        assert m.cores_per_socket == 8
+        assert m.coherence_floor_ns > 0
+
+    def test_tilera_shape(self):
+        m = tilegx36()
+        assert m.num_cores == 36
+
+    def test_tilera_slower_per_core_than_xeon(self):
+        assert tilegx36().work_ns > 2 * xeon_x7560().work_ns
+
+    def test_tilera_cheaper_synchronization(self):
+        til, x86 = tilegx36(), xeon_x7560()
+        assert til.atomic_ns < x86.atomic_ns
+        assert til.atomic_ping_ns < x86.atomic_ping_ns
+        assert til.shared_read_remote_ns < x86.shared_read_remote_ns
+
+    def test_tilera_atomic_derived_from_noc(self):
+        from repro.machine.tilera import TILERA_NOC
+
+        assert tilegx36().atomic_ns == pytest.approx(TILERA_NOC.remote_rmw_ns(core_overhead_ns=6.0))

@@ -1,0 +1,80 @@
+"""Tests for the thread-sweep timing drivers."""
+
+import pytest
+
+from repro.coloring import greedy_coloring
+from repro.machine import tilegx36, xeon_x7560
+from repro.machine.timing import SweepResult, scheme_comparison, speedups, thread_sweep
+from repro.parallel import parallel_scheduled_balance, parallel_shuffle_balance
+
+
+@pytest.fixture(scope="module")
+def sweep(small_cnr_module):
+    g, init = small_cnr_module
+    return thread_sweep(g, init, parallel_shuffle_balance, tilegx36(), [1, 4, 16])
+
+
+@pytest.fixture(scope="module")
+def small_cnr_module():
+    from repro.graph import load_dataset
+
+    g = load_dataset("cnr", scale=0.06, seed=1)
+    return g, greedy_coloring(g)
+
+
+class TestThreadSweep:
+    def test_lengths_align(self, sweep):
+        assert len(sweep.threads) == len(sweep.times_s) == len(sweep.breakdowns) == 3
+
+    def test_times_positive(self, sweep):
+        assert all(t > 0 for t in sweep.times_s)
+
+    def test_colorings_kept(self, sweep):
+        assert len(sweep.colorings) == 3
+        assert sweep.colorings[0].meta["threads"] == 1
+
+    def test_time_at(self, sweep):
+        assert sweep.time_at(4) == sweep.times_s[1]
+
+    def test_too_many_threads_rejected(self, small_cnr_module):
+        g, init = small_cnr_module
+        with pytest.raises(ValueError, match="cores"):
+            thread_sweep(g, init, parallel_shuffle_balance, tilegx36(), [64])
+
+    def test_scaling_on_mesh_machine(self, sweep):
+        # Tilera model: 16 threads beat 1 thread on this input
+        assert sweep.time_at(16) < sweep.time_at(1)
+
+
+class TestSpeedups:
+    def test_baseline_is_one(self, sweep):
+        s = speedups(sweep)
+        assert s[0] == pytest.approx(1.0)
+
+    def test_explicit_baseline(self, sweep):
+        s = speedups(sweep, baseline_threads=4)
+        assert s[1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert speedups(SweepResult(machine="m", algorithm="a")) == []
+
+
+class TestSchemeComparison:
+    def test_keys_and_positive(self, small_cnr_module):
+        g, init = small_cnr_module
+        out = scheme_comparison(
+            g, init,
+            {"vff": parallel_shuffle_balance, "sched": parallel_scheduled_balance},
+            xeon_x7560(), 8,
+        )
+        assert set(out) == {"vff", "sched"}
+        assert all(v > 0 for v in out.values())
+
+    def test_sched_beats_vff_on_x86(self, small_cnr_module):
+        g, init = small_cnr_module
+        out = scheme_comparison(
+            g, init,
+            {"vff": parallel_shuffle_balance, "sched": parallel_scheduled_balance},
+            xeon_x7560(), 16,
+        )
+        assert out["sched"] < out["vff"]

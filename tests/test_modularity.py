@@ -1,0 +1,70 @@
+"""Tests for the modularity metric."""
+
+import numpy as np
+import pytest
+
+from repro.community import community_sizes, modularity
+
+
+class TestModularity:
+    def test_two_cliques_partition_positive(self, two_cliques):
+        comm = np.array([0] * 5 + [1] * 5)
+        q = modularity(two_cliques, comm)
+        assert q > 0.4
+
+    def test_matches_networkx(self, two_cliques):
+        import networkx as nx
+
+        comm = np.array([0] * 5 + [1] * 5)
+        nxg = nx.Graph(list(two_cliques.edges()))
+        expected = nx.community.modularity(nxg, [set(range(5)), set(range(5, 10))])
+        assert modularity(two_cliques, comm) == pytest.approx(expected)
+
+    def test_matches_networkx_random_partition(self, random_graph):
+        import networkx as nx
+
+        rng = np.random.default_rng(1)
+        comm = rng.integers(0, 8, size=random_graph.num_vertices)
+        nxg = nx.Graph(list(random_graph.edges()))
+        nxg.add_nodes_from(range(random_graph.num_vertices))
+        groups = [set(np.nonzero(comm == c)[0].tolist()) for c in range(8)]
+        groups = [g for g in groups if g]
+        expected = nx.community.modularity(nxg, groups)
+        assert modularity(random_graph, comm) == pytest.approx(expected)
+
+    def test_single_community_zero(self, petersen):
+        assert modularity(petersen, np.zeros(10, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_all_singletons(self, k5):
+        # Q = -sum (k_i/2m)^2 = -5 * (4/20)^2 = -0.2
+        q = modularity(k5, np.arange(5))
+        assert q == pytest.approx(-0.2)
+
+    def test_bounds(self, random_graph):
+        rng = np.random.default_rng(2)
+        for k in (1, 2, 10, 50):
+            comm = rng.integers(0, k, size=random_graph.num_vertices)
+            q = modularity(random_graph, comm)
+            assert -0.5 <= q <= 1.0
+
+    def test_arbitrary_labels_ok(self, two_cliques):
+        a = modularity(two_cliques, np.array([0] * 5 + [1] * 5))
+        b = modularity(two_cliques, np.array([42] * 5 + [-7 + 50] * 5))
+        assert a == pytest.approx(b)
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        assert modularity(empty_graph(3), np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_label_length_mismatch(self, petersen):
+        with pytest.raises(ValueError):
+            modularity(petersen, np.zeros(3, dtype=np.int64))
+
+
+class TestCommunitySizes:
+    def test_sizes(self):
+        assert community_sizes(np.array([5, 5, 2, 2, 2])).tolist() == [3, 2]
+
+    def test_empty(self):
+        assert community_sizes(np.array([], dtype=np.int64)).size == 0

@@ -1,0 +1,39 @@
+"""Tests for the real multiprocessing coloring backend."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import assert_proper, greedy_coloring
+from repro.parallel.mp import mp_greedy_ff
+
+
+class TestMpGreedyFF:
+    def test_one_worker_matches_sequential(self, small_cnr):
+        seq = greedy_coloring(small_cnr)
+        par = mp_greedy_ff(small_cnr, num_workers=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_proper_with_workers(self, small_cnr, workers):
+        c = mp_greedy_ff(small_cnr, num_workers=workers)
+        assert_proper(small_cnr, c)
+        assert c.num_colors <= small_cnr.max_degree + 1
+
+    def test_deterministic_per_worker_count(self, small_cnr):
+        a = mp_greedy_ff(small_cnr, num_workers=2)
+        b = mp_greedy_ff(small_cnr, num_workers=2)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_meta_records_rounds(self, small_cnr):
+        c = mp_greedy_ff(small_cnr, num_workers=2)
+        assert c.meta["workers"] == 2
+        assert c.meta["rounds"] >= 1
+
+    def test_invalid_workers(self, small_cnr):
+        with pytest.raises(ValueError):
+            mp_greedy_ff(small_cnr, num_workers=0)
+
+    def test_path_graph(self, path10):
+        c = mp_greedy_ff(path10, num_workers=2)
+        assert_proper(path10, c)
+        assert c.num_colors <= 3

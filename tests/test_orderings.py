@@ -1,0 +1,88 @@
+"""Tests for vertex orderings."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    erdos_renyi_graph,
+    largest_first_order,
+    natural_order,
+    path_graph,
+    random_order,
+    smallest_last_order,
+    star_graph,
+    vertex_order,
+)
+from repro.graph.properties import core_number
+
+
+def _is_permutation(order, n):
+    return sorted(np.asarray(order).tolist()) == list(range(n))
+
+
+class TestBasicOrders:
+    def test_natural(self, petersen):
+        assert np.array_equal(natural_order(petersen), np.arange(10))
+
+    def test_random_is_permutation(self, petersen):
+        assert _is_permutation(random_order(petersen, seed=0), 10)
+
+    def test_random_deterministic_by_seed(self, petersen):
+        a = random_order(petersen, seed=5)
+        b = random_order(petersen, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_largest_first_sorted_by_degree(self, star8):
+        order = largest_first_order(star8)
+        assert order[0] == 0  # the hub
+        assert _is_permutation(order, 8)
+
+    def test_largest_first_nonincreasing(self, random_graph):
+        order = largest_first_order(random_graph)
+        deg = random_graph.degrees[order]
+        assert np.all(np.diff(deg) <= 0)
+
+
+class TestSmallestLast:
+    def test_is_permutation(self, random_graph):
+        order = smallest_last_order(random_graph)
+        assert _is_permutation(order, random_graph.num_vertices)
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        assert smallest_last_order(empty_graph(0)).shape == (0,)
+
+    def test_back_degree_bounded_by_core_number(self):
+        g = erdos_renyi_graph(150, 0.08, seed=7)
+        order = smallest_last_order(g)
+        pos = np.empty(g.num_vertices, dtype=np.int64)
+        pos[order] = np.arange(g.num_vertices)
+        k = core_number(g)
+        for i, v in enumerate(order):
+            back = sum(1 for w in g.neighbors(v) if pos[w] < i)
+            assert back <= k
+
+    def test_clique_order_valid(self):
+        g = complete_graph(6)
+        assert _is_permutation(smallest_last_order(g), 6)
+
+    def test_path_low_back_degree(self):
+        g = path_graph(20)
+        order = smallest_last_order(g)
+        pos = np.empty(20, dtype=np.int64)
+        pos[order] = np.arange(20)
+        for i, v in enumerate(order):
+            back = sum(1 for w in g.neighbors(v) if pos[w] < i)
+            assert back <= 1  # path is 1-degenerate
+
+
+class TestVertexOrderDispatch:
+    @pytest.mark.parametrize("name", ["natural", "random", "largest_first", "smallest_last"])
+    def test_all_names(self, petersen, name):
+        assert _is_permutation(vertex_order(petersen, name, seed=0), 10)
+
+    def test_unknown_name(self, petersen):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            vertex_order(petersen, "bogus")

@@ -1,0 +1,198 @@
+"""Tests for the parallel coloring algorithms (Algorithms 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_report,
+    balanced_recoloring,
+    greedy_coloring,
+    scheduled_balance,
+    shuffle_balance,
+)
+from repro.parallel import (
+    parallel_greedy_ff,
+    parallel_recoloring,
+    parallel_scheduled_balance,
+    parallel_shuffle_balance,
+)
+
+THREADS = [2, 7, 16, 33]
+
+
+class TestParallelGreedyFF:
+    def test_single_thread_matches_sequential(self, small_cnr):
+        seq = greedy_coloring(small_cnr)
+        par = parallel_greedy_ff(small_cnr, num_threads=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+    @pytest.mark.parametrize("p", THREADS)
+    def test_proper_and_bounded(self, small_cnr, p):
+        c = parallel_greedy_ff(small_cnr, num_threads=p)
+        assert_proper(small_cnr, c)
+        assert c.num_colors <= small_cnr.max_degree + 1
+
+    def test_conflicts_grow_with_threads(self, small_cnr):
+        lo = parallel_greedy_ff(small_cnr, num_threads=2)
+        hi = parallel_greedy_ff(small_cnr, num_threads=32)
+        assert hi.meta["conflicts"] >= lo.meta["conflicts"]
+
+    def test_rounds_small_constant(self, small_cnr):
+        # 32 threads on ~10^3 vertices is an extreme concurrency ratio; the
+        # paper's "small constant" holds loosely even here
+        c = parallel_greedy_ff(small_cnr, num_threads=32)
+        assert c.meta["rounds"] <= 20
+
+    def test_trace_attached(self, small_cnr):
+        c = parallel_greedy_ff(small_cnr, num_threads=4)
+        trace = c.meta["trace"]
+        assert trace.num_threads == 4
+        assert trace.total_work > 0
+
+    def test_custom_ordering(self, small_cnr):
+        order = np.arange(small_cnr.num_vertices)[::-1]
+        c = parallel_greedy_ff(small_cnr, num_threads=1, ordering=order)
+        assert_proper(small_cnr, c)
+
+    def test_bad_ordering_length(self, small_cnr):
+        with pytest.raises(ValueError):
+            parallel_greedy_ff(small_cnr, ordering=np.arange(3))
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        c = parallel_greedy_ff(empty_graph(0), num_threads=4)
+        assert c.num_colors == 0
+
+
+class TestParallelShuffle:
+    @pytest.mark.parametrize("choice,traversal",
+                             [("ff", "vertex"), ("lu", "vertex"),
+                              ("ff", "color"), ("lu", "color")])
+    def test_single_thread_matches_sequential(self, small_cnr, choice, traversal):
+        init = greedy_coloring(small_cnr)
+        seq = shuffle_balance(small_cnr, init, choice=choice, traversal=traversal)
+        par = parallel_shuffle_balance(small_cnr, init, choice=choice,
+                                       traversal=traversal, num_threads=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+    @pytest.mark.parametrize("p", THREADS)
+    def test_vertex_centric_proper_same_colors(self, small_cnr, p):
+        init = greedy_coloring(small_cnr)
+        out = parallel_shuffle_balance(small_cnr, init, num_threads=p)
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+    @pytest.mark.parametrize("p", THREADS)
+    def test_color_centric_thread_invariant(self, small_cnr, p):
+        # same-class vertices are non-adjacent: result independent of p
+        init = greedy_coloring(small_cnr)
+        base = parallel_shuffle_balance(small_cnr, init, traversal="color", num_threads=1)
+        out = parallel_shuffle_balance(small_cnr, init, traversal="color", num_threads=p)
+        assert np.array_equal(base.colors, out.colors)
+
+    def test_color_centric_no_conflicts(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_shuffle_balance(small_cnr, init, traversal="color", num_threads=16)
+        assert out.meta["conflicts"] == 0
+
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_balance_quality_near_sequential(self, small_cnr, p):
+        init = greedy_coloring(small_cnr)
+        seq_rsd = balance_report(shuffle_balance(small_cnr, init)).rsd_percent
+        par_rsd = balance_report(
+            parallel_shuffle_balance(small_cnr, init, num_threads=p)).rsd_percent
+        assert par_rsd <= seq_rsd + 10.0  # small degradation allowed
+
+    def test_atomics_track_moves(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_shuffle_balance(small_cnr, init, num_threads=8)
+        # two atomic updates per committed move plus two per revert
+        assert out.meta["atomics"] >= 2 * int(
+            np.count_nonzero(out.colors != init.colors))
+
+    def test_bad_args(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError):
+            parallel_shuffle_balance(small_cnr, init, choice="zz")
+        with pytest.raises(ValueError):
+            parallel_shuffle_balance(small_cnr, init, traversal="zz")
+        with pytest.raises(ValueError):
+            parallel_shuffle_balance(small_cnr, init, num_threads=0)
+
+
+class TestParallelScheduled:
+    def test_single_thread_matches_sequential(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        seq = scheduled_balance(small_cnr, init)
+        par = parallel_scheduled_balance(small_cnr, init, num_threads=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+    @pytest.mark.parametrize("p", THREADS)
+    def test_proper_same_colors(self, small_cnr, p):
+        init = greedy_coloring(small_cnr)
+        out = parallel_scheduled_balance(small_cnr, init, num_threads=p)
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+    def test_no_atomics_ever(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_scheduled_balance(small_cnr, init, num_threads=16)
+        assert out.meta["trace"].total_atomics == 0
+        assert out.meta["trace"].total_shared_reads == 0
+
+    def test_forward_variant(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_scheduled_balance(small_cnr, init, reverse=False, num_threads=8)
+        assert_proper(small_cnr, out)
+        assert out.strategy == "sched-fwd-parallel"
+
+    def test_serial_planning_charged(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_scheduled_balance(small_cnr, init, num_threads=8)
+        assert out.meta["trace"].serial_work > 0
+
+    def test_rounds(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_scheduled_balance(small_cnr, init, num_threads=8, rounds=3)
+        assert_proper(small_cnr, out)
+        with pytest.raises(ValueError):
+            parallel_scheduled_balance(small_cnr, init, rounds=0)
+
+
+class TestParallelRecoloring:
+    def test_single_thread_matches_sequential(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        seq = balanced_recoloring(small_cnr, init)
+        par = parallel_recoloring(small_cnr, init, num_threads=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+    @pytest.mark.parametrize("p", THREADS)
+    def test_proper(self, small_cnr, p):
+        init = greedy_coloring(small_cnr)
+        out = parallel_recoloring(small_cnr, init, num_threads=p)
+        assert_proper(small_cnr, out)
+
+    def test_capacity_roughly_respected(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        g = small_cnr.num_vertices / init.num_colors
+        out = parallel_recoloring(small_cnr, init, num_threads=8)
+        # ticks may overshoot by at most p-1 via races before reverts
+        assert out.class_sizes().max() <= int(np.floor(g)) + 1 + 8
+
+    def test_improves_balance(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_recoloring(small_cnr, init, num_threads=4)
+        assert balance_report(out).rsd_percent < balance_report(init).rsd_percent
+
+    def test_rounds_recorded(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = parallel_recoloring(small_cnr, init, num_threads=16)
+        assert out.meta["rounds"] >= 1
+        assert out.meta["supersteps"] == out.meta["rounds"]
+
+    def test_graph_mismatch(self, small_cnr, path10):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="match"):
+            parallel_recoloring(path10, init)

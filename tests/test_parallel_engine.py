@@ -1,0 +1,102 @@
+"""Tests for the tick-synchronous execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.engine import (
+    VERTEX_OVERHEAD,
+    ExecutionTrace,
+    SuperstepRecord,
+    TickMachine,
+)
+
+
+class TestTickMachine:
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            TickMachine(0)
+
+    def test_ticks_batch_sizes(self):
+        m = TickMachine(4)
+        items = np.arange(10)
+        batches = list(m.ticks(items))
+        assert [b.shape[0] for _, b in batches] == [4, 4, 2]
+        assert batches[0][0] == 0
+        assert np.concatenate([b for _, b in batches]).tolist() == list(range(10))
+
+    def test_ticks_single_thread(self):
+        m = TickMachine(1)
+        batches = list(m.ticks(np.arange(3)))
+        assert len(batches) == 3
+
+    def test_charge_accumulates(self):
+        m = TickMachine(2)
+        r = m.new_superstep()
+        m.charge(r, 0, 10)
+        m.charge(r, 1, 4)
+        m.charge(r, 0, 2)
+        assert r.work_per_thread[0] == 12 + 2 * VERTEX_OVERHEAD
+        assert r.work_per_thread[1] == 4 + VERTEX_OVERHEAD
+        assert r.items == 3
+
+    def test_charge_bulk_even_split(self):
+        m = TickMachine(4)
+        r = m.new_superstep()
+        m.charge_bulk(r, 10)
+        assert r.work_per_thread.sum() == 10
+        assert r.work_per_thread.max() == 3  # 10 = 3+3+2+2
+        assert r.items == 10
+
+    def test_charge_bulk_zero(self):
+        m = TickMachine(2)
+        r = m.new_superstep()
+        m.charge_bulk(r, 0)
+        assert r.work_per_thread.sum() == 0
+
+    def test_charge_bulk_negative(self):
+        m = TickMachine(2)
+        with pytest.raises(ValueError):
+            m.charge_bulk(m.new_superstep(), -1)
+
+    def test_charge_serial(self):
+        m = TickMachine(2)
+        m.charge_serial(100)
+        m.charge_serial(50)
+        assert m.trace.serial_work == 150
+
+
+class TestTrace:
+    def _record(self, p, work, atomics=0, conflicts=0, reads=0):
+        r = SuperstepRecord(work_per_thread=np.asarray(work, dtype=float))
+        r.atomic_ops = atomics
+        r.conflicts = conflicts
+        r.shared_reads = reads
+        return r
+
+    def test_totals(self):
+        t = ExecutionTrace(num_threads=2)
+        t.add(self._record(2, [10, 5], atomics=3, conflicts=1, reads=7))
+        t.add(self._record(2, [2, 8], atomics=1, reads=3))
+        assert t.num_supersteps == 2
+        assert t.total_work == 25
+        assert t.critical_path_work == 18
+        assert t.total_atomics == 4
+        assert t.total_conflicts == 1
+        assert t.total_shared_reads == 10
+        assert t.total_barriers == 4
+
+    def test_serial_in_critical_path(self):
+        t = ExecutionTrace(num_threads=2, serial_work=100)
+        assert t.critical_path_work == 100
+        assert t.total_work == 100
+
+    def test_summary_keys(self):
+        t = ExecutionTrace(num_threads=3, algorithm="x")
+        s = t.summary()
+        assert s["algorithm"] == "x"
+        assert s["threads"] == 3
+        assert set(s) >= {"supersteps", "conflicts", "atomics", "work", "critical_path"}
+
+    def test_record_max_work_empty(self):
+        r = SuperstepRecord(work_per_thread=np.zeros(2))
+        assert r.max_work == 0.0

@@ -1,0 +1,97 @@
+"""Tests for vertex partitioning and its effect on mp coloring conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_3d_graph, load_dataset, path_graph
+from repro.parallel.partition import (
+    bfs_partition,
+    block_partition,
+    cut_edges,
+    random_partition,
+)
+
+
+def _is_partition(parts, n):
+    flat = np.concatenate(parts)
+    return sorted(flat.tolist()) == list(range(n))
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("fn", [block_partition,
+                                    lambda g, k: random_partition(g, k, seed=7),
+                                    lambda g, k: bfs_partition(g, k, seed=7)])
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_covers_all_vertices(self, random_graph, fn, k):
+        parts = fn(random_graph, k)
+        assert _is_partition(parts, random_graph.num_vertices)
+
+    def test_balanced_sizes(self, random_graph):
+        parts = bfs_partition(random_graph, 4, seed=7)
+        sizes = [p.shape[0] for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_block_is_contiguous(self, random_graph):
+        parts = block_partition(random_graph, 3)
+        for p in parts:
+            assert np.array_equal(p, np.arange(p[0], p[-1] + 1))
+
+    def test_invalid_parts(self, random_graph):
+        for fn in (block_partition, random_partition, bfs_partition):
+            with pytest.raises(ValueError):
+                fn(random_graph, 0)
+
+    def test_bfs_beats_random_on_mesh(self):
+        # on a mesh, BFS locality produces a far smaller cut than a random
+        # scatter (the reason the mp backend offers it)
+        g = grid_3d_graph(8, 8, 8, stencil=6)
+        bfs_cut = cut_edges(g, bfs_partition(g, 4, seed=7))
+        rnd_cut = cut_edges(g, random_partition(g, 4, seed=7))
+        assert bfs_cut < 0.5 * rnd_cut
+
+    def test_bfs_deterministic(self, random_graph):
+        a = bfs_partition(random_graph, 3, seed=5)
+        b = bfs_partition(random_graph, 3, seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestCutEdges:
+    def test_path_block_cut(self):
+        g = path_graph(10)
+        assert cut_edges(g, block_partition(g, 2)) == 1
+
+    def test_single_part_no_cut(self, random_graph):
+        assert cut_edges(random_graph, block_partition(random_graph, 1)) == 0
+
+    def test_overlapping_parts_rejected(self, path10):
+        with pytest.raises(ValueError, match="overlap"):
+            cut_edges(path10, [np.array([0, 1]), np.array([1, 2])])
+
+    def test_incomplete_parts_rejected(self, path10):
+        with pytest.raises(ValueError, match="cover"):
+            cut_edges(path10, [np.array([0, 1])])
+
+
+class TestMpPartitionChoice:
+    def test_all_partitions_proper(self, small_cnr):
+        from repro.coloring import assert_proper
+        from repro.parallel.mp import mp_greedy_ff
+
+        for part in ("block", "random", "bfs"):
+            c = mp_greedy_ff(small_cnr, num_workers=2, partition=part, seed=7)
+            assert_proper(small_cnr, c)
+            assert c.meta["partition"] == part
+
+    def test_locality_reduces_conflicts(self):
+        from repro.parallel.mp import mp_greedy_ff
+
+        g = grid_3d_graph(8, 8, 8, stencil=6)
+        bfs = mp_greedy_ff(g, num_workers=3, partition="bfs", seed=7)
+        rnd = mp_greedy_ff(g, num_workers=3, partition="random", seed=7)
+        assert bfs.meta["conflicts"] < rnd.meta["conflicts"]
+
+    def test_unknown_partition(self, small_cnr):
+        from repro.parallel.mp import mp_greedy_ff
+
+        with pytest.raises(ValueError, match="partition"):
+            mp_greedy_ff(small_cnr, num_workers=2, partition="metis")

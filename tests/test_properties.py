@@ -1,0 +1,85 @@
+"""Tests for graph statistics and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    degree_stats,
+    empty_graph,
+    graph_stats,
+    path_graph,
+    star_graph,
+)
+from repro.graph.properties import connected_components, core_number
+
+
+class TestDegreeStats:
+    def test_path(self, path10):
+        mx, avg, mn = degree_stats(path10)
+        assert (mx, mn) == (2, 1)
+        assert avg == pytest.approx(18 / 10)
+
+    def test_empty(self):
+        assert degree_stats(empty_graph(0)) == (0, 0.0, 0)
+
+    def test_regular(self, petersen):
+        mx, avg, mn = degree_stats(petersen)
+        assert mx == avg == mn == 3
+
+
+class TestCoreNumber:
+    def test_clique(self):
+        assert core_number(complete_graph(7)) == 6
+
+    def test_tree(self):
+        assert core_number(star_graph(10)) == 1
+        assert core_number(path_graph(10)) == 1
+
+    def test_cycle(self):
+        assert core_number(cycle_graph(9)) == 2
+
+    def test_petersen(self, petersen):
+        assert core_number(petersen) == 3
+
+    def test_empty(self):
+        assert core_number(empty_graph(3)) == 0
+
+    def test_clique_plus_pendant(self):
+        from repro.graph import from_edge_list
+
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)] + [(0, 5)]
+        assert core_number(from_edge_list(edges)) == 4
+
+
+class TestConnectedComponents:
+    def test_single_component(self, petersen):
+        labels = connected_components(petersen)
+        assert len(np.unique(labels)) == 1
+
+    def test_two_components(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list([(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert len(np.unique(labels)) == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+
+    def test_isolates_are_components(self):
+        g = empty_graph(4)
+        assert len(np.unique(connected_components(g))) == 4
+
+
+class TestGraphStats:
+    def test_fields(self, petersen):
+        s = graph_stats(petersen)
+        assert s.num_vertices == 10
+        assert s.num_edges == 15
+        assert s.max_degree == s.min_degree == 3
+        assert s.core_number == 3
+
+    def test_row_shape(self, k5):
+        row = graph_stats(k5).row()
+        assert row == (5, 10, 4, 4.0, 4)

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs are generated from edge lists; every strategy must produce a
+proper coloring with its documented color-count guarantee, parallel p=1
+runs must equal the sequential references, and the community substrate
+must conserve weight under aggregation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (
+    balanced_recoloring,
+    greedy_coloring,
+    is_proper,
+    iterated_greedy,
+    scheduled_balance,
+    shuffle_balance,
+)
+from repro.community import WeightedGraph, aggregate, modularity
+from repro.graph import from_edge_arrays
+from repro.parallel import (
+    parallel_greedy_ff,
+    parallel_recoloring,
+    parallel_scheduled_balance,
+    parallel_shuffle_balance,
+)
+
+MAX_N = 40
+
+
+@st.composite
+def graphs(draw):
+    """A random simple graph with up to MAX_N vertices."""
+    n = draw(st.integers(min_value=2, max_value=MAX_N))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return from_edge_arrays(np.asarray(u, dtype=np.int64),
+                            np.asarray(v, dtype=np.int64), num_vertices=n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.sampled_from(["ff", "lu"]))
+def test_greedy_proper_and_bounded(g, choice):
+    c = greedy_coloring(g, choice=choice)
+    assert is_proper(g, c)
+    assert c.num_colors <= g.max_degree + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_greedy_random_proper(g, seed):
+    c = greedy_coloring(g, choice="random", seed=seed)
+    assert is_proper(g, c)
+    assert c.num_colors <= g.max_degree + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.sampled_from(["natural", "random", "largest_first", "smallest_last"]))
+def test_greedy_ff_any_ordering(g, ordering):
+    c = greedy_coloring(g, ordering=ordering, seed=0)
+    assert is_proper(g, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.sampled_from(["ff", "lu"]), st.sampled_from(["vertex", "color"]))
+def test_shuffle_proper_same_colors(g, choice, traversal):
+    init = greedy_coloring(g)
+    out = shuffle_balance(g, init, choice=choice, traversal=traversal)
+    assert is_proper(g, out)
+    assert out.num_colors == init.num_colors
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.booleans())
+def test_scheduled_proper_same_colors(g, reverse):
+    init = greedy_coloring(g)
+    out = scheduled_balance(g, init, reverse=reverse)
+    assert is_proper(g, out)
+    assert out.num_colors == init.num_colors
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_recoloring_proper_capacity(g):
+    init = greedy_coloring(g)
+    out = balanced_recoloring(g, init)
+    assert is_proper(g, out)
+    if init.num_colors:
+        gamma = g.num_vertices / init.num_colors
+        assert out.class_sizes().max() <= int(np.floor(gamma)) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_iterated_greedy_never_more_colors(g):
+    init = greedy_coloring(g, ordering="random", seed=1)
+    out = iterated_greedy(g, init)
+    assert is_proper(g, out)
+    assert out.num_colors <= init.num_colors
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), st.integers(2, 12))
+def test_parallel_algorithms_proper_any_threads(g, p):
+    init = greedy_coloring(g)
+    for out in (
+        parallel_greedy_ff(g, num_threads=p),
+        parallel_shuffle_balance(g, init, num_threads=p),
+        parallel_scheduled_balance(g, init, num_threads=p),
+        parallel_recoloring(g, init, num_threads=p),
+    ):
+        assert is_proper(g, out)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs())
+def test_parallel_p1_equals_sequential(g):
+    init = greedy_coloring(g)
+    assert np.array_equal(
+        parallel_greedy_ff(g, num_threads=1).colors, init.colors)
+    assert np.array_equal(
+        parallel_shuffle_balance(g, init, num_threads=1).colors,
+        shuffle_balance(g, init).colors)
+    assert np.array_equal(
+        parallel_scheduled_balance(g, init, num_threads=1).colors,
+        scheduled_balance(g, init).colors)
+    assert np.array_equal(
+        parallel_recoloring(g, init, num_threads=1).colors,
+        balanced_recoloring(g, init).colors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_aggregate_conserves_total_weight(g, seed):
+    wg = WeightedGraph.from_csr(g)
+    rng = np.random.default_rng(seed)
+    comm = rng.integers(0, max(1, g.num_vertices // 2), size=g.num_vertices)
+    agg, relabel = aggregate(wg, comm)
+    assert agg.total_weight == pytest.approx(wg.total_weight)
+    assert relabel.shape[0] == g.num_vertices
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_modularity_bounds_and_aggregation_invariance(g, seed):
+    rng = np.random.default_rng(seed)
+    comm = rng.integers(0, max(1, g.num_vertices // 3), size=g.num_vertices)
+    q = modularity(g, comm)
+    assert -0.5 - 1e-9 <= q <= 1.0
+    if g.num_edges:
+        wg = WeightedGraph.from_csr(g)
+        agg, relabel = aggregate(wg, comm)
+        assert modularity(agg, np.arange(agg.num_vertices)) == pytest.approx(q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_edge_arrays_roundtrip(g):
+    u, v = g.edge_arrays()
+    rebuilt = from_edge_arrays(u, v, num_vertices=g.num_vertices)
+    assert rebuilt == g
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_smallest_last_is_permutation(g):
+    from repro.graph import smallest_last_order
+
+    order = smallest_last_order(g)
+    assert sorted(order.tolist()) == list(range(g.num_vertices))

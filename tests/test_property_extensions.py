@@ -1,0 +1,88 @@
+"""Property-based tests for the extension modules (JP, D2, Kempe, solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (
+    greedy_coloring,
+    greedy_distance2,
+    is_distance2_proper,
+    is_proper,
+    jones_plassmann,
+    kempe_balance,
+)
+from repro.coloring.balance import size_spread
+from repro.graph import from_edge_arrays
+
+MAX_N = 30
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=MAX_N))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return from_edge_arrays(np.asarray(u, dtype=np.int64),
+                            np.asarray(v, dtype=np.int64), num_vertices=n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.sampled_from(["random", "largest_first", "smallest_last"]),
+       st.sampled_from(["ff", "lu"]), st.integers(0, 2**31 - 1))
+def test_jones_plassmann_proper_bounded(g, weighting, choice, seed):
+    c = jones_plassmann(g, weighting=weighting, choice=choice, seed=seed)
+    assert is_proper(g, c)
+    assert c.num_colors <= g.max_degree + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_jones_plassmann_thread_invariant(g, seed):
+    a = jones_plassmann(g, seed=seed, num_threads=1)
+    b = jones_plassmann(g, seed=seed, num_threads=7)
+    assert np.array_equal(a.colors, b.colors)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.sampled_from(["ff", "lu"]))
+def test_distance2_proper(g, choice):
+    c = greedy_distance2(g, choice=choice)
+    assert is_distance2_proper(g, c)
+    # a D2 coloring is in particular a proper D1 coloring
+    assert is_proper(g, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_kempe_proper_same_colors_never_worse(g):
+    init = greedy_coloring(g)
+    out = kempe_balance(g, init)
+    assert is_proper(g, out)
+    assert out.num_colors == init.num_colors
+    assert size_spread(out) <= size_spread(init)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_solver_gs_matches_direct_solution(g, seed):
+    from repro.solver import laplacian_system, multicolor_gauss_seidel
+
+    system = laplacian_system(g, seed=seed)
+    coloring = greedy_coloring(g)
+    res = multicolor_gauss_seidel(system, coloring, tol=1e-10, max_sweeps=2000)
+    if res.converged:
+        expected = np.linalg.solve(np.asarray(system.matrix.todense()), system.rhs)
+        assert np.allclose(res.x, expected, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 6), st.integers(0, 2**31 - 1))
+def test_partitions_cover_and_cut_bounded(g, k, seed):
+    from repro.parallel.partition import bfs_partition, cut_edges, random_partition
+
+    for parts in (random_partition(g, k, seed=seed), bfs_partition(g, k, seed=seed)):
+        flat = np.sort(np.concatenate(parts))
+        assert np.array_equal(flat, np.arange(g.num_vertices))
+        assert 0 <= cut_edges(g, parts) <= g.num_edges

@@ -1,0 +1,115 @@
+"""Tests for balanced recoloring and iterated greedy."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_report,
+    balanced_recoloring,
+    gamma,
+    greedy_coloring,
+    iterated_greedy,
+)
+from repro.coloring.recolor import reverse_class_order
+
+
+class TestReverseClassOrder:
+    def test_descending_colors(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        order = reverse_class_order(init)
+        cols = init.colors[order]
+        assert np.all(np.diff(cols) <= 0)
+
+    def test_permutation(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        order = reverse_class_order(init)
+        assert sorted(order.tolist()) == list(range(small_cnr.num_vertices))
+
+    def test_stable_within_class(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        order = reverse_class_order(init)
+        cols = init.colors[order]
+        for c in np.unique(cols):
+            ids = order[cols == c]
+            assert np.all(np.diff(ids) > 0)
+
+
+class TestIteratedGreedy:
+    def test_never_more_colors(self, small_cnr):
+        current = greedy_coloring(small_cnr, ordering="random", seed=0)
+        for _ in range(3):
+            nxt = iterated_greedy(small_cnr, current)
+            assert_proper(small_cnr, nxt)
+            assert nxt.num_colors <= current.num_colors
+            current = nxt
+
+    def test_reduces_on_er_graph(self):
+        from repro.graph import erdos_renyi_graph
+
+        g = erdos_renyi_graph(600, 0.05, seed=1)
+        init = greedy_coloring(g, ordering="random", seed=1)
+        out = iterated_greedy(g, init, iterations=5)
+        assert out.num_colors < init.num_colors
+
+    def test_iterations_validation(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError):
+            iterated_greedy(small_cnr, init, iterations=0)
+
+    def test_meta(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = iterated_greedy(small_cnr, init, iterations=2)
+        assert out.meta["iterations"] == 2
+        assert out.strategy == "iterated-greedy"
+
+
+class TestBalancedRecoloring:
+    def test_proper(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = balanced_recoloring(small_cnr, init)
+        assert_proper(small_cnr, out)
+
+    def test_capacity_respected(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        g = gamma(small_cnr.num_vertices, init.num_colors)
+        out = balanced_recoloring(small_cnr, init)
+        sizes = out.class_sizes()
+        # a bin accepts a vertex only while its size < gamma
+        assert sizes.max() <= int(np.floor(g)) + 1
+
+    def test_improves_balance(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = balanced_recoloring(small_cnr, init)
+        assert balance_report(out).rsd_percent < balance_report(init).rsd_percent
+
+    def test_colors_close_to_initial(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = balanced_recoloring(small_cnr, init)
+        # may exceed C, but not wildly (paper: 943 -> 945)
+        assert out.num_colors <= 2 * init.num_colors
+
+    def test_clique(self, k5):
+        init = greedy_coloring(k5)
+        out = balanced_recoloring(k5, init)
+        assert out.num_colors == 5
+        assert_proper(k5, out)
+
+    def test_path(self, path10):
+        init = greedy_coloring(path10)
+        out = balanced_recoloring(path10, init)
+        assert_proper(path10, out)
+        sizes = out.class_sizes()
+        assert sizes.max() - sizes.min() <= 1  # perfectly equitable here
+
+    def test_graph_mismatch(self, small_cnr, path10):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="match"):
+            balanced_recoloring(path10, init)
+
+    def test_meta_gamma(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = balanced_recoloring(small_cnr, init)
+        assert out.meta["gamma"] == pytest.approx(
+            small_cnr.num_vertices / init.num_colors)
+        assert out.meta["initial_colors"] == init.num_colors

@@ -1,0 +1,105 @@
+"""Tests for scheduled-move balancing (Sched-Rev / Sched-Fwd)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_report,
+    gamma,
+    greedy_coloring,
+    plan_moves,
+    scheduled_balance,
+)
+
+
+class TestPlanning:
+    def test_plan_respects_capacity(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        plan = plan_moves(init)
+        sizes = init.class_sizes().astype(float)
+        incoming = np.bincount(plan.targets, minlength=init.num_colors)
+        g = plan.gamma
+        for k in range(init.num_colors):
+            if incoming[k]:
+                assert sizes[k] + incoming[k] <= g
+
+    def test_plan_sources_are_overfull(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        plan = plan_moves(init)
+        sizes = init.class_sizes()
+        g = plan.gamma
+        for v in plan.vertices:
+            assert sizes[init.colors[v]] > g
+
+    def test_reverse_targets_high_bins_first(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        rev = plan_moves(init, reverse=True)
+        fwd = plan_moves(init, reverse=False)
+        if len(rev) and len(fwd):
+            assert rev.targets[0] >= fwd.targets[0]
+
+    def test_empty_coloring_plan(self):
+        from repro.coloring import Coloring
+
+        plan = plan_moves(Coloring(np.empty(0, dtype=np.int64), 0))
+        assert len(plan) == 0
+
+    def test_balanced_input_empty_plan(self):
+        from repro.coloring import Coloring
+
+        plan = plan_moves(Coloring(np.array([0, 0, 1, 1]), 2))
+        assert len(plan) == 0
+
+
+class TestScheduledBalance:
+    def test_proper_same_colors(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = scheduled_balance(small_cnr, init)
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+    def test_improves_balance(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = scheduled_balance(small_cnr, init)
+        assert balance_report(out).rsd_percent < balance_report(init).rsd_percent
+
+    def test_forward_variant_proper(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = scheduled_balance(small_cnr, init, reverse=False)
+        assert_proper(small_cnr, out)
+        assert out.strategy == "sched-fwd"
+
+    def test_multiple_rounds_no_worse(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        one = scheduled_balance(small_cnr, init, rounds=1)
+        three = scheduled_balance(small_cnr, init, rounds=3)
+        assert_proper(small_cnr, three)
+        assert balance_report(three).rsd_percent <= balance_report(one).rsd_percent + 1e-9
+
+    def test_commit_counts(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = scheduled_balance(small_cnr, init)
+        moved = int(np.count_nonzero(out.colors != init.colors))
+        assert out.meta["committed"] == moved
+        assert out.meta["committed"] <= out.meta["attempted"]
+
+    def test_targets_capacity_respected(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = scheduled_balance(small_cnr, init)
+        g = gamma(small_cnr.num_vertices, init.num_colors)
+        init_sizes = init.class_sizes()
+        out_sizes = out.class_sizes()
+        for b in range(init.num_colors):
+            if out_sizes[b] > init_sizes[b]:  # received movers
+                assert out_sizes[b] <= g
+
+    def test_rounds_validation(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="rounds"):
+            scheduled_balance(small_cnr, init, rounds=0)
+
+    def test_graph_mismatch(self, small_cnr, path10):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="match"):
+            scheduled_balance(path10, init)

@@ -1,0 +1,145 @@
+"""Tests for sequential shuffling-based balancing (VFF/VLU/CFF/CLU)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_report,
+    gamma,
+    greedy_coloring,
+    shuffle_balance,
+)
+
+
+@pytest.fixture(params=[("ff", "vertex"), ("lu", "vertex"), ("ff", "color"), ("lu", "color")],
+                ids=["vff", "vlu", "cff", "clu"])
+def variant(request):
+    return request.param
+
+
+class TestInvariants:
+    def test_proper_and_same_color_count(self, small_cnr, variant):
+        choice, traversal = variant
+        init = greedy_coloring(small_cnr)
+        out = shuffle_balance(small_cnr, init, choice=choice, traversal=traversal)
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+    def test_improves_balance(self, small_cnr, variant):
+        choice, traversal = variant
+        init = greedy_coloring(small_cnr)
+        out = shuffle_balance(small_cnr, init, choice=choice, traversal=traversal)
+        assert balance_report(out).rsd_percent < balance_report(init).rsd_percent
+
+    def test_input_not_mutated(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        snapshot = init.colors.copy()
+        shuffle_balance(small_cnr, init)
+        assert np.array_equal(init.colors, snapshot)
+
+    def test_bins_never_grow_past_gamma_ceiling(self, small_cnr, variant):
+        choice, traversal = variant
+        init = greedy_coloring(small_cnr)
+        g = gamma(small_cnr.num_vertices, init.num_colors)
+        out = shuffle_balance(small_cnr, init, choice=choice, traversal=traversal)
+        init_sizes = init.class_sizes()
+        out_sizes = out.class_sizes()
+        # a bin only receives vertices while its size is < gamma
+        for b in range(init.num_colors):
+            if out_sizes[b] > init_sizes[b]:
+                assert out_sizes[b] <= int(np.floor(g)) + 1
+
+    def test_overfull_bins_never_gain(self, small_cnr, variant):
+        choice, traversal = variant
+        init = greedy_coloring(small_cnr)
+        g = gamma(small_cnr.num_vertices, init.num_colors)
+        out = shuffle_balance(small_cnr, init, choice=choice, traversal=traversal)
+        init_sizes = init.class_sizes()
+        out_sizes = out.class_sizes()
+        for b in np.nonzero(init_sizes > g)[0]:
+            assert out_sizes[b] <= init_sizes[b]
+
+    def test_moves_recorded(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = shuffle_balance(small_cnr, init)
+        assert out.meta["moves"] > 0
+        assert out.meta["moves"] == int(np.count_nonzero(out.colors != init.colors))
+
+
+class TestEdgeCases:
+    def test_already_balanced_noop(self, cycle5):
+        # C5 FF coloring: sizes [2,2,1], gamma 5/3 -> bin sizes 2 > gamma...
+        # use a perfectly balanceable case: path with alternating colors
+        from repro.graph import path_graph
+
+        g = path_graph(6)
+        init = greedy_coloring(g)  # 3/3 split, perfectly balanced
+        out = shuffle_balance(g, init)
+        assert np.array_equal(out.colors, init.colors)
+
+    def test_complete_graph_cannot_move(self, k5):
+        init = greedy_coloring(k5)
+        out = shuffle_balance(k5, init)
+        assert np.array_equal(out.colors, init.colors)  # every bin size 1
+
+    def test_empty_coloring(self):
+        from repro.coloring import Coloring
+        from repro.graph import empty_graph
+
+        g = empty_graph(0)
+        init = Coloring(np.empty(0, dtype=np.int64), 0)
+        out = shuffle_balance(g, init)
+        assert out.num_colors == 0
+
+    def test_strategy_names(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        assert shuffle_balance(small_cnr, init, choice="ff", traversal="vertex").strategy == "vff"
+        assert shuffle_balance(small_cnr, init, choice="lu", traversal="color").strategy == "clu"
+
+    def test_bad_choice(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="choice"):
+            shuffle_balance(small_cnr, init, choice="zz")
+
+    def test_bad_traversal(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="traversal"):
+            shuffle_balance(small_cnr, init, traversal="zz")
+
+    def test_graph_mismatch(self, small_cnr, path10):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="match"):
+            shuffle_balance(path10, init)
+
+    def test_works_from_non_ff_initial(self, small_cnr):
+        init = greedy_coloring(small_cnr, choice="random", seed=0)
+        out = shuffle_balance(small_cnr, init, choice="lu", traversal="color")
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+
+
+class TestWorkWeightedBalance:
+    def test_proper_same_colors(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = shuffle_balance(small_cnr, init, weight="degree")
+        assert_proper(small_cnr, out)
+        assert out.num_colors == init.num_colors
+        assert out.strategy == "vff-work"
+
+    def test_reduces_work_dispersion(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        count_bal = shuffle_balance(small_cnr, init)
+        work_bal = shuffle_balance(small_cnr, init, weight="degree")
+
+        def work_rsd(c):
+            w = np.zeros(c.num_colors)
+            np.add.at(w, c.colors, small_cnr.degrees.astype(float))
+            return 100 * w.std() / w.mean()
+
+        assert work_rsd(work_bal) < work_rsd(count_bal)
+
+    def test_bad_weight(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="weight"):
+            shuffle_balance(small_cnr, init, weight="mass")

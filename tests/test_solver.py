@@ -1,0 +1,121 @@
+"""Tests for the multicolor sparse solver application."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring
+from repro.graph import grid_3d_graph, load_dataset, path_graph
+from repro.machine import estimate_time, tilegx36
+from repro.solver import (
+    jacobi,
+    laplacian_system,
+    multicolor_gauss_seidel,
+    residual_norm,
+    sweep_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh_system():
+    g = grid_3d_graph(6, 6, 6, stencil=6)
+    return laplacian_system(g, seed=0)
+
+
+class TestLinearSystem:
+    def test_spd_structure(self, mesh_system):
+        A = mesh_system.matrix
+        assert (A - A.T).nnz == 0  # symmetric
+        # strict diagonal dominance
+        d = mesh_system.diagonal()
+        offdiag = np.abs(A).sum(axis=1) - np.abs(d)
+        assert np.all(d > offdiag)
+
+    def test_rhs_unit_norm(self, mesh_system):
+        assert np.linalg.norm(mesh_system.rhs) == pytest.approx(1.0)
+
+    def test_graph_attached(self, mesh_system):
+        assert mesh_system.graph.num_vertices == mesh_system.size == 216
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import empty_graph
+
+        with pytest.raises(ValueError):
+            laplacian_system(empty_graph(0))
+
+    def test_bad_dominance(self):
+        with pytest.raises(ValueError):
+            laplacian_system(path_graph(4), dominance=0)
+
+
+class TestSolvers:
+    def test_jacobi_converges(self, mesh_system):
+        res = jacobi(mesh_system, tol=1e-8)
+        assert res.converged
+        assert residual_norm(mesh_system, res.x) < 1e-8
+
+    def test_jacobi_residuals_decrease(self, mesh_system):
+        res = jacobi(mesh_system, tol=1e-8)
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_multicolor_gs_converges_to_solution(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        res = multicolor_gauss_seidel(mesh_system, coloring, tol=1e-10)
+        assert res.converged
+        expected = np.linalg.solve(
+            mesh_system.matrix.todense(), mesh_system.rhs)
+        assert np.allclose(res.x, expected, atol=1e-7)
+
+    def test_gs_faster_than_jacobi(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        gs = multicolor_gauss_seidel(mesh_system, coloring, tol=1e-8)
+        jac = jacobi(mesh_system, tol=1e-8)
+        assert gs.sweeps < jac.sweeps  # the classic 2x result
+
+    def test_gs_trace_attached(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        res = multicolor_gauss_seidel(mesh_system, coloring, num_threads=4,
+                                      tol=1e-8)
+        assert res.trace is not None
+        assert res.trace.num_supersteps == res.sweeps * coloring.num_colors
+
+    def test_coloring_mismatch_rejected(self, mesh_system):
+        bad = greedy_coloring(path_graph(4))
+        with pytest.raises(ValueError):
+            multicolor_gauss_seidel(mesh_system, bad)
+
+    def test_max_sweeps_respected(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        res = multicolor_gauss_seidel(mesh_system, coloring, tol=1e-30,
+                                      max_sweeps=3)
+        assert not res.converged
+        assert res.sweeps == 3
+
+
+class TestSweepTrace:
+    def test_one_superstep_per_nonempty_class(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        trace = sweep_trace(mesh_system, coloring, num_threads=8)
+        nonempty = int(np.count_nonzero(coloring.class_sizes()))
+        assert trace.num_supersteps == nonempty
+
+    def test_total_work_covers_all_rows(self, mesh_system):
+        coloring = greedy_coloring(mesh_system.graph)
+        trace = sweep_trace(mesh_system, coloring, num_threads=8)
+        from repro.parallel.engine import VERTEX_OVERHEAD
+
+        expected = 2 * mesh_system.graph.num_edges + VERTEX_OVERHEAD * mesh_system.size
+        assert trace.total_work == expected
+
+    def test_balanced_sweep_not_slower(self):
+        # on a many-color skewed input, a balanced coloring's modeled sweep
+        # is at least as fast at moderate thread counts
+        from repro.parallel import parallel_shuffle_balance
+
+        g = load_dataset("cnr", scale=0.2, seed=0)
+        system = laplacian_system(g, seed=0)
+        init = greedy_coloring(g)
+        bal = parallel_shuffle_balance(g, init, num_threads=8)
+        machine = tilegx36()
+        t_skew = estimate_time(sweep_trace(system, init, num_threads=16), machine)
+        t_bal = estimate_time(sweep_trace(system, bal, num_threads=16), machine)
+        assert t_bal.total_s <= t_skew.total_s * 1.05

@@ -1,0 +1,67 @@
+"""Tests for the strategy registry (Table I dispatch)."""
+
+import pytest
+
+from repro.coloring import (
+    STRATEGIES,
+    assert_proper,
+    balance_coloring,
+    color_and_balance,
+    greedy_coloring,
+)
+
+TABLE1_STRATEGIES = {
+    "greedy-lu", "greedy-random", "vff", "vlu", "cff", "clu",
+    "sched-rev", "sched-fwd", "recoloring",
+}
+
+
+class TestRegistry:
+    def test_all_table1_rows_present(self):
+        assert TABLE1_STRATEGIES <= set(STRATEGIES)
+
+    def test_categories(self):
+        assert STRATEGIES["greedy-lu"].category == "ab_initio"
+        assert STRATEGIES["vff"].category == "guided"
+        assert STRATEGIES["recoloring"].category == "guided"
+
+    def test_same_color_count_flags(self):
+        for name in ("vff", "vlu", "cff", "clu", "sched-rev", "sched-fwd"):
+            assert STRATEGIES[name].same_color_count, name
+        for name in ("recoloring", "greedy-lu", "greedy-random"):
+            assert not STRATEGIES[name].same_color_count, name
+
+    def test_descriptions_nonempty(self):
+        for spec in STRATEGIES.values():
+            assert spec.description
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", sorted(TABLE1_STRATEGIES))
+    def test_color_and_balance_all(self, small_cnr, name):
+        out = color_and_balance(small_cnr, name, seed=0)
+        assert_proper(small_cnr, out)
+
+    @pytest.mark.parametrize("name", ["vff", "vlu", "cff", "clu", "sched-rev"])
+    def test_guided_preserve_color_count(self, small_cnr, name):
+        init = greedy_coloring(small_cnr)
+        out = balance_coloring(small_cnr, init, name)
+        assert out.num_colors == init.num_colors
+
+    def test_balance_coloring_rejects_ab_initio(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        with pytest.raises(ValueError, match="ab initio"):
+            balance_coloring(small_cnr, init, "greedy-lu")
+
+    def test_unknown_strategy(self, small_cnr):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            color_and_balance(small_cnr, "quantum")
+
+    def test_kwargs_forwarded(self, small_cnr):
+        init = greedy_coloring(small_cnr)
+        out = balance_coloring(small_cnr, init, "sched-rev", rounds=2)
+        assert out.meta["rounds"] == 2
+
+    def test_ordering_forwarded(self, small_cnr):
+        out = color_and_balance(small_cnr, "vff", ordering="smallest_last")
+        assert_proper(small_cnr, out)

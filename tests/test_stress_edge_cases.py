@@ -1,0 +1,157 @@
+"""Stress and edge-case tests: adversarial structures across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper,
+    balance_coloring,
+    color_and_balance,
+    greedy_coloring,
+    STRATEGIES,
+)
+from repro.graph import (
+    complete_graph,
+    empty_graph,
+    from_edge_list,
+    star_graph,
+)
+from repro.parallel import (
+    parallel_greedy_ff,
+    parallel_recoloring,
+    parallel_scheduled_balance,
+    parallel_shuffle_balance,
+)
+
+GUIDED = [n for n, s in STRATEGIES.items() if s.category == "guided"]
+
+
+@pytest.fixture
+def disconnected():
+    """Two triangles, an isolated path, and isolated vertices."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7), (7, 8)]
+    return from_edge_list(edges, num_vertices=12)
+
+
+class TestAdversarialGraphs:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_disconnected(self, disconnected, strategy):
+        out = color_and_balance(disconnected, strategy, seed=0)
+        assert_proper(disconnected, out)
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_complete_graph(self, strategy):
+        g = complete_graph(7)
+        out = color_and_balance(g, strategy, seed=0)
+        assert_proper(g, out)
+        assert out.num_colors >= 7
+
+    @pytest.mark.parametrize("strategy", sorted(GUIDED))
+    def test_star(self, strategy):
+        g = star_graph(20)
+        out = color_and_balance(g, strategy, seed=0)
+        assert_proper(g, out)
+
+    @pytest.mark.parametrize("strategy", sorted(GUIDED))
+    def test_all_isolated(self, strategy):
+        g = empty_graph(10)
+        out = color_and_balance(g, strategy, seed=0)
+        assert_proper(g, out)
+
+
+class TestExtremeThreadCounts:
+    def test_more_threads_than_vertices(self, petersen):
+        init = greedy_coloring(petersen)
+        for algo in (parallel_shuffle_balance, parallel_scheduled_balance,
+                     parallel_recoloring):
+            out = algo(petersen, init, num_threads=100)
+            assert_proper(petersen, out)
+        out = parallel_greedy_ff(petersen, num_threads=100)
+        assert_proper(petersen, out)
+
+    def test_clique_under_max_concurrency(self):
+        # every tick of a clique coloring conflicts maximally
+        g = complete_graph(12)
+        c = parallel_greedy_ff(g, num_threads=12)
+        assert_proper(g, c)
+        assert c.num_colors == 12
+        assert c.meta["conflicts"] > 0
+
+    def test_star_vertex_centric_balance(self):
+        # star: FF gives classes {hub}, {leaves}; heavily unbalanceable
+        g = star_graph(30)
+        init = greedy_coloring(g)
+        out = parallel_shuffle_balance(g, init, num_threads=8)
+        assert_proper(g, out)
+        assert out.num_colors == 2  # nothing movable, color count kept
+
+
+class TestDegenerateColorings:
+    def test_balance_single_class(self):
+        from repro.coloring import Coloring
+
+        g = empty_graph(6)
+        init = Coloring(np.zeros(6, dtype=np.int64), 1)
+        for strategy in GUIDED:
+            out = balance_coloring(g, init, strategy)
+            assert out.num_vertices == 6
+
+    def test_balance_alread_perfect(self, petersen):
+        init = greedy_coloring(petersen)
+        # petersen FF: 3 colors over 10 vertices; near-balanced already
+        out = balance_coloring(petersen, init, "vff")
+        assert_proper(petersen, out)
+
+    def test_sched_with_no_underfull_capacity(self):
+        # 2 classes of sizes 3 and 1: gamma=2, surplus 1, capacity 1
+        g = star_graph(4)
+        init = greedy_coloring(g)
+        out = parallel_scheduled_balance(g, init, num_threads=4)
+        assert_proper(g, out)
+
+
+class TestCommunityEdgeCases:
+    def test_louvain_disconnected(self, disconnected):
+        from repro.community import louvain
+
+        res = louvain(disconnected)
+        # triangles and the path resolve into separate communities; the
+        # isolated vertices stay alone
+        assert res.num_communities >= 5
+
+    def test_louvain_complete_graph_single_community(self):
+        from repro.community import louvain
+
+        res = louvain(complete_graph(8))
+        assert res.num_communities == 1
+
+    def test_parallel_louvain_star(self):
+        from repro.community import parallel_louvain
+
+        g = star_graph(10)
+        res = parallel_louvain(g, num_threads=4, coloring=greedy_coloring(g))
+        assert res.num_communities >= 1
+
+    def test_modularity_empty_edges(self):
+        from repro.community import modularity
+
+        g = empty_graph(5)
+        assert modularity(g, np.arange(5)) == 0.0
+
+
+class TestMachineEdgeCases:
+    def test_empty_trace_costs_nothing(self):
+        from repro.machine import estimate_time, tilegx36
+        from repro.parallel.engine import ExecutionTrace
+
+        bd = estimate_time(ExecutionTrace(num_threads=4), tilegx36())
+        assert bd.total_s == 0.0
+
+    def test_trace_from_noop_balancing(self):
+        from repro.machine import estimate_time, tilegx36
+
+        g = complete_graph(5)  # all classes size 1: nothing to balance
+        init = greedy_coloring(g)
+        out = parallel_shuffle_balance(g, init, num_threads=4)
+        bd = estimate_time(out.meta["trace"], tilegx36())
+        assert bd.total_s >= 0.0

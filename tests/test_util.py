@@ -1,0 +1,113 @@
+"""Tests for repro.util: RNG plumbing, timers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Timer,
+    as_rng,
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    spawn_rngs,
+    timed,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        a = as_rng(7).integers(0, 1000, size=10)
+        b = as_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_streams(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [r.integers(0, 2**31) for r in rngs]
+        assert len(set(draws)) == 3  # overwhelmingly likely distinct
+
+    def test_spawn_rngs_deterministic(self):
+        a = [r.integers(0, 2**31) for r in spawn_rngs(5, 4)]
+        b = [r.integers(0, 2**31) for r in spawn_rngs(5, 4)]
+        assert a == b
+
+    def test_spawn_rngs_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_rngs_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates_across_cycles(self):
+        t = Timer()
+        t.start(); t.stop()
+        first = t.elapsed
+        t.start(); t.stop()
+        assert t.elapsed >= first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        t.start(); t.stop()
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_timed_records_into_sink(self):
+        sink = {}
+        with timed(sink, "x"):
+            time.sleep(0.005)
+        assert sink["x"] >= 0.004
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)
+
+    def test_check_array_1d_shape(self):
+        out = check_array_1d("a", [1, 2, 3])
+        assert out.shape == (3,)
+        with pytest.raises(ValueError):
+            check_array_1d("a", np.zeros((2, 2)))
+
+    def test_check_array_1d_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_array_1d("a", [1, 2], length=3)

@@ -1,0 +1,101 @@
+"""Tests for the weighted graph and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.community import WeightedGraph, aggregate, modularity
+
+
+class TestWeightedGraph:
+    def test_from_csr_unit_weights(self, petersen):
+        wg = WeightedGraph.from_csr(petersen)
+        assert wg.num_vertices == 10
+        assert np.all(wg.weights == 1.0)
+        assert np.all(wg.strengths == 3.0)
+        assert wg.total_weight == 30.0
+
+    def test_self_weight_counts_double(self):
+        wg = WeightedGraph(
+            np.array([0, 1, 2]), np.array([1, 0]), np.array([2.0, 2.0]),
+            np.array([3.0, 0.0]),
+        )
+        assert wg.strengths[0] == 2.0 + 6.0
+        assert wg.strengths[1] == 2.0
+
+    def test_neighbors(self, path10):
+        wg = WeightedGraph.from_csr(path10)
+        nbrs, wts = wg.neighbors(1)
+        assert nbrs.tolist() == [0, 2]
+        assert wts.tolist() == [1.0, 1.0]
+
+    def test_validation_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(np.array([0, 1, 2]), np.array([1, 0]),
+                          np.array([-1.0, -1.0]), np.zeros(2))
+
+    def test_validation_self_loop_in_adjacency(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            WeightedGraph(np.array([0, 1]), np.array([0]),
+                          np.array([1.0]), np.zeros(1))
+
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(np.array([0, 1, 2]), np.array([1, 0]),
+                          np.array([1.0]), np.zeros(2))
+
+
+class TestAggregate:
+    def test_total_weight_conserved(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm = np.array([0] * 5 + [1] * 5)
+        agg, relabel = aggregate(wg, comm)
+        assert agg.total_weight == pytest.approx(wg.total_weight)
+
+    def test_structure_two_cliques(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm = np.array([0] * 5 + [1] * 5)
+        agg, relabel = aggregate(wg, comm)
+        assert agg.num_vertices == 2
+        # one bridge edge between the supervertices
+        nbrs, wts = agg.neighbors(0)
+        assert nbrs.tolist() == [1]
+        assert wts[0] == 1.0
+        # 10 intra edges per clique become self-loop weight 10
+        assert agg.self_weight[0] == 10.0
+        assert agg.self_weight[1] == 10.0
+
+    def test_relabel_dense(self, two_cliques):
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm = np.array([7] * 5 + [99] * 5)
+        agg, relabel = aggregate(wg, comm)
+        assert sorted(np.unique(relabel).tolist()) == [0, 1]
+
+    def test_modularity_invariant_under_aggregation(self, two_cliques):
+        # Q of the partition equals Q of the aggregated graph's identity split
+        wg = WeightedGraph.from_csr(two_cliques)
+        comm = np.array([0] * 5 + [1] * 5)
+        q_before = modularity(wg, comm)
+        agg, _ = aggregate(wg, comm)
+        q_after = modularity(agg, np.arange(2))
+        assert q_after == pytest.approx(q_before)
+
+    def test_aggregate_everything_into_one(self, petersen):
+        wg = WeightedGraph.from_csr(petersen)
+        agg, _ = aggregate(wg, np.zeros(10, dtype=np.int64))
+        assert agg.num_vertices == 1
+        assert agg.self_weight[0] == 15.0
+        assert agg.total_weight == pytest.approx(30.0)
+
+    def test_label_length_mismatch(self, petersen):
+        wg = WeightedGraph.from_csr(petersen)
+        with pytest.raises(ValueError):
+            aggregate(wg, np.zeros(3, dtype=np.int64))
+
+    def test_chained_aggregation_conserves(self, small_cnr):
+        wg = WeightedGraph.from_csr(small_cnr)
+        rng = np.random.default_rng(0)
+        comm = rng.integers(0, 50, size=wg.num_vertices)
+        agg1, _ = aggregate(wg, comm)
+        comm2 = rng.integers(0, 5, size=agg1.num_vertices)
+        agg2, _ = aggregate(agg1, comm2)
+        assert agg2.total_weight == pytest.approx(wg.total_weight)

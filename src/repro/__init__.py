@@ -10,6 +10,9 @@ Subpackages
     CSR graph substrate, generators, dataset stand-ins.
 ``repro.coloring``
     Sequential balanced-coloring strategies (the paper's Table I).
+``repro.kernels``
+    Backend-dispatched compute kernels (``reference`` per-vertex loops vs
+    ``vectorized`` whole-array rounds) behind the coloring hot paths.
 ``repro.parallel``
     Tick-synchronous simulated shared-memory engine and the parallel
     variants of every strategy (Algorithms 2–5), plus a real
@@ -25,6 +28,7 @@ Subpackages
 """
 
 from .graph import CSRGraph, load_dataset
+from . import kernels
 from .coloring import (
     Coloring,
     balance_coloring,
@@ -43,5 +47,6 @@ __all__ = [
     "balance_coloring",
     "color_and_balance",
     "balance_report",
+    "kernels",
     "__version__",
 ]

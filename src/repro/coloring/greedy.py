@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..graph.csr import CSRGraph
 from ..graph.orderings import vertex_order
-from ..util import as_rng
+from ..util import as_rng, check_permutation
 from .types import Coloring
 
 __all__ = ["greedy_coloring"]
@@ -39,6 +40,7 @@ def greedy_coloring(
     ordering: str | np.ndarray = "natural",
     seed=None,
     palette_bound: int | None = None,
+    backend: str | None = None,
 ) -> Coloring:
     """Color *graph* with Algorithm 1 and the given color-choice rule.
 
@@ -60,6 +62,13 @@ def greedy_coloring(
         reported Greedy-Random color counts — and when a vertex finds no
         permissible color within B it falls back to the smallest
         permissible color beyond B (so the coloring always completes).
+    backend:
+        Kernel backend (``"reference"`` or ``"vectorized"``; see
+        :mod:`repro.kernels`).  First-Fit dispatches to the selected
+        backend — both produce bit-identical colorings.  ``"lu"`` and
+        ``"random"`` always run the sequential loop: their choice rules
+        thread per-vertex state (live bin sizes, the RNG stream) through
+        the sweep, which a batched round cannot replicate exactly.
 
     Returns
     -------
@@ -72,9 +81,19 @@ def greedy_coloring(
     if isinstance(ordering, str):
         order = vertex_order(graph, ordering, seed=seed)
     else:
-        order = np.asarray(ordering, dtype=np.int64)
-        if sorted(order.tolist()) != list(range(n)):
-            raise ValueError("ordering must be a permutation of all vertices")
+        order = check_permutation("ordering", ordering, n)
+
+    ordering_meta = ordering if isinstance(ordering, str) else "explicit"
+    resolved = kernels.resolve_backend(backend)
+    if choice == "ff":
+        colors = kernels.ff_sweep(graph, order, backend=resolved)
+        num_colors = int(colors.max(initial=-1)) + 1
+        return Coloring(
+            colors,
+            num_colors,
+            strategy="greedy-ff",
+            meta={"ordering": ordering_meta, "backend": resolved},
+        )
 
     rng = as_rng(seed) if choice == "random" else None
     max_deg = graph.max_degree
@@ -100,14 +119,7 @@ def greedy_coloring(
         nbr_colors = nbr_colors[nbr_colors >= 0]
         forbidden[nbr_colors] = v
 
-        if choice == "ff":
-            # smallest index whose stamp is not v; search window deg(v)+1
-            window = forbidden[: nbr_colors.shape[0] + 1]
-            k = int(np.argmax(window != v)) if window.shape[0] else 0
-            # argmax returns 0 even when nothing matches; guard that case
-            if window.shape[0] and window[k] == v:  # pragma: no cover - unreachable
-                k = nbr_colors.shape[0]
-        elif choice == "lu":
+        if choice == "lu":
             if num_colors == 0:
                 k = 0
             else:
@@ -136,5 +148,5 @@ def greedy_coloring(
         colors,
         num_colors,
         strategy=f"greedy-{choice}",
-        meta={"ordering": ordering if isinstance(ordering, str) else "explicit"},
+        meta={"ordering": ordering_meta, "backend": "reference"},
     )

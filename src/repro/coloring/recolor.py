@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..graph.csr import CSRGraph
 from .balance import gamma as _gamma
 from .types import Coloring
@@ -35,22 +36,23 @@ def reverse_class_order(coloring: Coloring) -> np.ndarray:
     return np.argsort(-coloring.colors, kind="stable").astype(np.int64)
 
 
-def _ff_sweep(
+def _capacity_ff_sweep(
     graph: CSRGraph,
     order: np.ndarray,
-    capacity: float | None,
+    capacity: float,
 ) -> tuple[np.ndarray, int]:
-    """One FF sweep over *order*; optional per-bin capacity (γ).
+    """One FF sweep over *order* under a per-bin capacity (γ).
 
-    Returns (colors, num_colors).  With ``capacity=None`` this is plain
-    Greedy-FF restricted to the given order (the Iterated Greedy step).
+    Returns (colors, num_colors).  The capacity constraint couples every
+    placement to the live bin sizes, so this sweep is inherently
+    sequential; the unconstrained Iterated-Greedy step dispatches to
+    :func:`repro.kernels.ff_sweep` instead.
     """
     n = graph.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
     indptr, indices = graph.indptr, graph.indices
-    max_deg = graph.max_degree
     # worst case: every color 0..deg(v) forbidden or full; bound generously
-    limit = n + 1 if capacity is not None else max_deg + 2
+    limit = n + 1
     sizes = np.zeros(limit, dtype=np.int64)
     forbidden = np.full(limit, -1, dtype=np.int64)
     num_colors = 0
@@ -60,24 +62,20 @@ def _ff_sweep(
         nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
         nbr_colors = nbr_colors[nbr_colors >= 0]
         forbidden[nbr_colors] = v
-        if capacity is None:
-            window = forbidden[: nbr_colors.shape[0] + 1]
-            k = int(np.argmax(window != v))
-        else:
-            # smallest color that is permissible AND below capacity; the
-            # search window must extend past full bins, so scan until found
-            window_len = nbr_colors.shape[0] + 1
-            while True:
-                w_forb = forbidden[:window_len]
-                w_size = sizes[:window_len]
-                ok = (w_forb != v) & (w_size < capacity)
-                hits = np.nonzero(ok)[0]
-                if hits.shape[0]:
-                    k = int(hits[0])
-                    break
-                if window_len >= limit:  # cannot happen: bin n is never full
-                    raise RuntimeError("no permissible bin found within palette limit")
-                window_len = min(window_len * 2, limit)
+        # smallest color that is permissible AND below capacity; the
+        # search window must extend past full bins, so scan until found
+        window_len = nbr_colors.shape[0] + 1
+        while True:
+            w_forb = forbidden[:window_len]
+            w_size = sizes[:window_len]
+            ok = (w_forb != v) & (w_size < capacity)
+            hits = np.nonzero(ok)[0]
+            if hits.shape[0]:
+                k = int(hits[0])
+                break
+            if window_len >= limit:  # cannot happen: bin n is never full
+                raise RuntimeError("no permissible bin found within palette limit")
+            window_len = min(window_len * 2, limit)
         colors[v] = k
         sizes[k] += 1
         if k >= num_colors:
@@ -86,41 +84,58 @@ def _ff_sweep(
 
 
 def iterated_greedy(
-    graph: CSRGraph, initial: Coloring, *, iterations: int = 1
+    graph: CSRGraph,
+    initial: Coloring,
+    *,
+    iterations: int = 1,
+    backend: str | None = None,
 ) -> Coloring:
     """Culberson's Iterated Greedy: reverse-class FF sweeps.
 
     Each sweep is guaranteed to use no more colors than the previous
     coloring; iterating drives the count toward (but not provably to) the
-    optimum.
+    optimum.  ``backend`` selects the FF-sweep kernel (see
+    :mod:`repro.kernels`); both backends are bit-identical.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
+    resolved = kernels.resolve_backend(backend)
     current = initial
     for _ in range(iterations):
         order = reverse_class_order(current)
-        colors, num_colors = _ff_sweep(graph, order, capacity=None)
+        colors = kernels.ff_sweep(graph, order, backend=resolved)
+        num_colors = int(colors.max(initial=-1)) + 1
         current = Coloring(colors, num_colors, strategy="iterated-greedy")
-    return current.with_meta(iterations=iterations, initial_strategy=initial.strategy)
+    return current.with_meta(
+        iterations=iterations, initial_strategy=initial.strategy, backend=resolved
+    )
 
 
-def balanced_recoloring(graph: CSRGraph, initial: Coloring) -> Coloring:
+def balanced_recoloring(
+    graph: CSRGraph, initial: Coloring, *, backend: str | None = None
+) -> Coloring:
     """Balanced Recoloring (sequential Algorithm 5).
 
     Re-colors every vertex in reverse-class order under the capacity
     γ = |V| / C_initial; may open colors beyond C_initial when necessary.
+    ``backend`` is accepted for API uniformity and validated, but the
+    capacity-constrained sweep has only the reference implementation —
+    each placement depends on the live bin sizes, so the sweep cannot be
+    batched without changing results.
     """
+    if backend is not None:
+        kernels.resolve_backend(backend)
     if initial.num_vertices != graph.num_vertices:
         raise ValueError("coloring does not match graph")
     if initial.num_colors == 0:
         return initial
     g = _gamma(initial.num_vertices, initial.num_colors)
     order = reverse_class_order(initial)
-    colors, num_colors = _ff_sweep(graph, order, capacity=g)
+    colors, num_colors = _capacity_ff_sweep(graph, order, capacity=g)
     return Coloring(
         colors,
         num_colors,
         strategy="recoloring",
         meta={"gamma": g, "initial_colors": initial.num_colors,
-              "initial_strategy": initial.strategy},
+              "initial_strategy": initial.strategy, "backend": "reference"},
     )

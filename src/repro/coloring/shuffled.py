@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..graph.csr import CSRGraph
 from .types import Coloring
 
-__all__ = ["shuffle_balance"]
+__all__ = ["shuffle_balance", "_pick_target"]
 
 _CHOICES = ("ff", "lu")
 _TRAVERSALS = ("vertex", "color")
@@ -48,6 +49,7 @@ def shuffle_balance(
     choice: str = "ff",
     traversal: str = "vertex",
     weight: str = "unit",
+    backend: str | None = None,
 ) -> Coloring:
     """Balance *initial* by moving vertices out of over-full bins.
 
@@ -57,6 +59,11 @@ def shuffle_balance(
     balance objective: ``"unit"`` equalizes class cardinalities (the
     paper's notion); ``"degree"`` equalizes per-class total degree (edge
     work, plus one unit per vertex so isolated vertices still count).
+
+    ``backend`` selects the drain kernel (see :mod:`repro.kernels`): the
+    ``reference`` backend (the default here) is the paper's sequential
+    single pass; ``vectorized`` batches moves in whole-array rounds and
+    reaches the same balance regime with a different move trace.
     """
     if choice not in _CHOICES:
         raise ValueError(f"choice must be one of {_CHOICES}, got {choice!r}")
@@ -78,31 +85,18 @@ def shuffle_balance(
     g = float(vertex_w.sum()) / C
     sizes = np.zeros(C, dtype=np.float64)
     np.add.at(sizes, colors, vertex_w)
-    indptr, indices = graph.indptr, graph.indices
-    moves = 0
 
-    overfull = np.nonzero(sizes > g)[0]
-    if traversal == "color":
-        # one over-full bin at a time, in increasing color index
-        candidate_groups = [np.nonzero(colors == j)[0] for j in overfull]
-    else:
-        # vertex-centric: all candidates interleaved by vertex id
-        mask = np.isin(colors, overfull)
-        candidate_groups = [np.nonzero(mask)[0]]
-
-    for group in candidate_groups:
-        for v in group:
-            v = int(v)
-            j = int(colors[v])
-            if sizes[j] <= g:  # bin reached balance; stop draining it
-                continue
-            nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
-            k = _pick_target(nbr_colors, sizes, g, j, choice)
-            if k >= 0:
-                colors[v] = k
-                sizes[j] -= vertex_w[v]
-                sizes[k] += vertex_w[v]
-                moves += 1
+    resolved = kernels.resolve_backend(backend, default="reference")
+    moves = kernels.shuffle_drain(
+        graph,
+        colors,
+        sizes,
+        g,
+        choice=choice,
+        traversal=traversal,
+        vertex_w=vertex_w,
+        backend=resolved,
+    )
 
     suffix = "" if weight == "unit" else "-work"
     return Coloring(
@@ -110,26 +104,14 @@ def shuffle_balance(
         C,
         strategy=f"{'v' if traversal == 'vertex' else 'c'}{choice}{suffix}",
         meta={"moves": moves, "gamma": g, "weight": weight,
-              "initial_strategy": initial.strategy},
+              "initial_strategy": initial.strategy, "backend": resolved},
     )
 
 
 def _pick_target(
     nbr_colors: np.ndarray, sizes: np.ndarray, g: float, current: int, choice: str
 ) -> int:
-    """Smallest-index (FF) or least-used (LU) permissible under-full bin.
+    """Back-compat alias of :func:`repro.kernels.reference.pick_shuffle_target`."""
+    from ..kernels.reference import pick_shuffle_target
 
-    Returns -1 when no move is possible.  A bin is permissible when no
-    neighbor holds it; under-full when its size is strictly below γ.
-    """
-    C = sizes.shape[0]
-    permissible = np.ones(C, dtype=bool)
-    inrange = nbr_colors[(nbr_colors >= 0) & (nbr_colors < C)]
-    permissible[inrange] = False
-    permissible[current] = False
-    candidates = np.nonzero(permissible & (sizes < g))[0]
-    if candidates.shape[0] == 0:
-        return -1
-    if choice == "ff":
-        return int(candidates[0])
-    return int(candidates[np.argmin(sizes[candidates])])
+    return pick_shuffle_target(nbr_colors, sizes, g, current, choice)

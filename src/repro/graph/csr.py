@@ -38,12 +38,13 @@ class CSRGraph:
     a simple graph (a self-loop would make a vertex uncolorable).
     """
 
-    __slots__ = ("indptr", "indices", "_degrees")
+    __slots__ = ("indptr", "indices", "_degrees", "_edge_arrays")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self._degrees: np.ndarray | None = None
+        self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
         if validate:
             self.check()
 
@@ -97,11 +98,18 @@ class CSRGraph:
                     yield (u, int(w))
 
     def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(u, v)`` arrays with one entry per undirected edge, u < v."""
-        n = self.num_vertices
-        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
-        mask = src < self.indices
-        return src[mask], self.indices[mask]
+        """Return ``(u, v)`` arrays with one entry per undirected edge, u < v.
+
+        Memoized (like :attr:`degrees`): the graph is immutable, and the
+        conflict-detection and modularity kernels call this every round.
+        Callers must treat the returned arrays as read-only.
+        """
+        if self._edge_arrays is None:
+            n = self.num_vertices
+            src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+            mask = src < self.indices
+            self._edge_arrays = (src[mask], self.indices[mask])
+        return self._edge_arrays
 
     # ------------------------------------------------------------------
     # validation / conversion

@@ -1,0 +1,61 @@
+"""Bulk conflict detection and bin-size accounting.
+
+These whole-array kernels are the shared machinery of every
+speculate-and-resolve loop in the library: the tick-machine parallel
+Greedy-FF, the multiprocessing backend, parallel Recoloring, and the
+vectorized shuffle drains all (a) detect monochromatic edges against the
+current colors array in one vectorized pass and (b) maintain per-bin size
+counters.  They are backend-independent — there is no per-vertex reference
+formulation worth keeping — so both kernel backends use them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "bin_sizes",
+    "count_monochromatic_edges",
+    "detect_conflicts",
+    "monochromatic_edges",
+]
+
+
+def monochromatic_edges(graph: CSRGraph, colors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Endpoint arrays ``(u, v)`` (u < v) of edges with equal, assigned colors.
+
+    Vertices with color ``-1`` (uncolored) never conflict.
+    """
+    u, v = graph.edge_arrays()
+    mask = (colors[u] == colors[v]) & (colors[u] >= 0)
+    return u[mask], v[mask]
+
+
+def count_monochromatic_edges(graph: CSRGraph, colors: np.ndarray) -> int:
+    """Number of monochromatic edges under *colors*."""
+    return int(monochromatic_edges(graph, colors)[0].shape[0])
+
+
+def detect_conflicts(
+    graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray
+) -> np.ndarray:
+    """Higher-id endpoints of monochromatic edges incident on *work_list*.
+
+    This is the resolution rule of the speculation protocol (Çatalyürek et
+    al.): of every monochromatic edge whose higher endpoint speculated this
+    round, the higher-id endpoint loses and is retried.  Returns a sorted,
+    deduplicated vertex array.
+    """
+    in_work = np.zeros(graph.num_vertices, dtype=bool)
+    in_work[work_list] = True
+    u, v = graph.edge_arrays()  # u < v
+    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
+    return np.unique(v[mask])
+
+
+def bin_sizes(colors: np.ndarray, num_bins: int) -> np.ndarray:
+    """Size of each color bin (uncolored ``-1`` entries ignored), as int64."""
+    colored = colors[colors >= 0]
+    return np.bincount(colored, minlength=num_bins).astype(np.int64)

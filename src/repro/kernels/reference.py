@@ -1,0 +1,109 @@
+"""Reference (per-vertex loop) kernel implementations.
+
+These are the original interpreted hot loops of the library, moved here so
+the backend dispatcher can select them explicitly.  They are the semantic
+ground truth: the vectorized backend is tested for equivalence against the
+functions in this module, and they remain the right choice for tiny graphs
+where whole-array staging costs more than the loop.
+
+The First-Fit sweep uses the classic O(n + m) "stamping" scheme: a scratch
+array ``forbidden`` records, per color, the stamp of the last vertex that
+saw that color on a neighbor, so clearing between vertices is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["ff_sweep", "shuffle_drain", "pick_shuffle_target"]
+
+
+def ff_sweep(graph: CSRGraph, work: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """Sequential First-Fit over *work*, starting from the *base* snapshot.
+
+    Returns a full colors array: a copy of *base* in which each vertex of
+    *work*, processed in the given order, has been (re)assigned the
+    smallest color not held by any neighbor at the time it is processed.
+    Commits are local: vertex ``work[i]`` sees the new colors of
+    ``work[:i]`` and the *base* (possibly stale) colors of everything else
+    — exactly the semantics of one speculation round's worker, and, with
+    ``base`` all ``-1``, exactly Algorithm 1's Greedy-FF.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    local = base.copy()
+    limit = graph.max_degree + 2
+    forbidden = np.full(limit, -1, dtype=np.int64)
+    for stamp, v in enumerate(work):
+        v = int(v)
+        row = indices[indptr[v] : indptr[v + 1]]
+        nbr = local[row]
+        window_len = row.shape[0] + 1
+        # colors >= window_len cannot affect a mex that is <= deg(v)
+        nbr = nbr[(nbr >= 0) & (nbr < window_len)]
+        forbidden[nbr] = stamp
+        local[v] = int(np.argmax(forbidden[:window_len] != stamp))
+    return local
+
+
+def pick_shuffle_target(
+    nbr_colors: np.ndarray, sizes: np.ndarray, g: float, current: int, choice: str
+) -> int:
+    """Smallest-index (FF) or least-used (LU) permissible under-full bin.
+
+    Returns -1 when no move is possible.  A bin is permissible when no
+    neighbor holds it; under-full when its size is strictly below γ.
+    """
+    C = sizes.shape[0]
+    permissible = np.ones(C, dtype=bool)
+    inrange = nbr_colors[(nbr_colors >= 0) & (nbr_colors < C)]
+    permissible[inrange] = False
+    permissible[current] = False
+    candidates = np.nonzero(permissible & (sizes < g))[0]
+    if candidates.shape[0] == 0:
+        return -1
+    if choice == "ff":
+        return int(candidates[0])
+    return int(candidates[np.argmin(sizes[candidates])])
+
+
+def shuffle_drain(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    sizes: np.ndarray,
+    g: float,
+    *,
+    choice: str,
+    traversal: str,
+    vertex_w: np.ndarray,
+) -> int:
+    """One unscheduled-shuffling pass draining over-full bins toward γ.
+
+    Mutates *colors* and *sizes* in place; returns the number of moves.
+    ``traversal="color"`` walks one over-full bin at a time in increasing
+    color index; ``"vertex"`` interleaves candidates by vertex id.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    moves = 0
+    overfull = np.nonzero(sizes > g)[0]
+    if traversal == "color":
+        candidate_groups = [np.nonzero(colors == j)[0] for j in overfull]
+    else:
+        mask = np.isin(colors, overfull)
+        candidate_groups = [np.nonzero(mask)[0]]
+
+    for group in candidate_groups:
+        for v in group:
+            v = int(v)
+            j = int(colors[v])
+            if sizes[j] <= g:  # bin reached balance; stop draining it
+                continue
+            nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
+            k = pick_shuffle_target(nbr_colors, sizes, g, j, choice)
+            if k >= 0:
+                colors[v] = k
+                sizes[j] -= vertex_w[v]
+                sizes[k] += vertex_w[v]
+                moves += 1
+    return moves

@@ -1,0 +1,346 @@
+"""Vectorized speculate-and-resolve kernels (whole-array NumPy rounds).
+
+**First-Fit sweep.**  The paper's parallelization insight — speculate on a
+snapshot, detect conflicts, iterate — is applied here with a
+*deterministic* resolution rule that makes the result bit-identical to the
+sequential sweep: each round colors, in one batch of array ops, every
+pending vertex whose earlier-in-order neighbors have all committed (such
+vertices can never lose a conflict, because every race is resolved in
+favor of order priority).  These committed sets are exactly the
+Jones-Plassmann independent sets of the ordering DAG, so each vertex is
+processed once and total work stays O(n + m); the number of rounds is the
+longest monotone path of the ordering, which is small for the irregular
+graphs the paper targets.  Per round, the smallest free color of the whole
+batch is found with a sorted-segment scan (gather neighbor colors, lexsort
+by (vertex, color), dedupe, and compare against the within-segment index).
+Rounds too small to amortize array staging — dependency bottlenecks, or
+deep-tail orderings such as a path in natural order — are colored with a
+per-vertex loop instead and batching resumes when the frontier regrows,
+so the kernel is never asymptotically worse than the reference backend.
+
+**Shuffle drain.**  Balancing moves for VFF/VLU/CFF/CLU are batched in
+rounds of movers drawn from one over-full source bin at a time.  A color
+class is an independent set, so same-round movers are pairwise
+non-adjacent: no mover invalidates another's permissibility and no
+monochromatic edge can form — the intra-round race of the speculative
+formulation is resolved *by construction* instead of by detect-and-revert.
+Each round builds a dense permissibility matrix (movers × bins) from the
+current colors, then conflict-resolves the staged moves against γ with
+segment cumulative sums: the source bin is drained in vertex-id order only
+while it stays strictly over γ, and each target bin admits movers in
+vertex-id order only while it stays strictly under γ — exactly the
+sequential rule's live checks, applied to a whole batch at once.
+Committed movers leave the pool (each vertex moves at most once, like the
+sequential single pass), so the drain terminates.  Traversal order is
+preserved: ``color`` drains each over-full bin to completion in increasing
+color index; ``vertex`` round-robins one batched round per over-full bin,
+interleaving the drains the way the vertex-centric schedule does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import reference
+
+__all__ = ["ff_sweep", "shuffle_drain"]
+
+# below this per-round batch size the array-staging overhead beats the
+# stamped loop; measured crossover is a few dozen vertices
+_SMALL_FRONTIER = 64
+# cap on candidates × bins entries per permissibility chunk (~4 MB of bool)
+_PERM_CHUNK_ENTRIES = 1 << 22
+
+
+def _gather_rows(starts: np.ndarray, lens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat gather indices for variable-length rows, plus row ids per entry.
+
+    ``flat[k]`` walks ``starts[i] .. starts[i]+lens[i]`` for each row *i* in
+    sequence; ``seg[k]`` is the row id *i* of entry *k*.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    cum = np.cumsum(lens)
+    seg = np.repeat(np.arange(lens.shape[0], dtype=np.int64), lens)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - lens, lens)
+    return np.repeat(starts, lens) + offsets, seg
+
+
+def _segment_mex(seg: np.ndarray, vals: np.ndarray, num_segments: int) -> np.ndarray:
+    """Smallest missing non-negative value per segment (the First-Fit color).
+
+    *seg* need not be sorted; *vals* are non-negative colors.  Scatter the
+    colors into a dense (segment × color) presence table and take the
+    first absent column per row.  A segment with *d* entries has mex at
+    most *d*, so columns past the largest segment length never matter and
+    entries that large are dropped before the scatter; oversized tables
+    (many segments × a huge palette) are processed in row chunks.
+    """
+    mex = np.zeros(num_segments, dtype=np.int64)
+    if seg.shape[0] == 0:
+        return mex
+    counts = np.bincount(seg, minlength=num_segments)
+    width = int(counts.max()) + 1  # mex <= segment length
+    in_range = vals < width
+    seg, vals = seg[in_range], vals[in_range]
+    rows_per_chunk = max(1, _PERM_CHUNK_ENTRIES // width)
+    for lo in range(0, num_segments, rows_per_chunk):
+        hi = min(lo + rows_per_chunk, num_segments)
+        pick = (seg >= lo) & (seg < hi) if num_segments > rows_per_chunk else slice(None)
+        present = np.zeros((hi - lo, width + 1), dtype=bool)
+        present[seg[pick] - lo, vals[pick]] = True
+        mex[lo:hi] = np.argmin(present, axis=1)  # first False = mex
+    return mex
+
+
+def ff_sweep(graph: CSRGraph, work: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """Batch First-Fit over *work* against *base*; see module docstring.
+
+    Bit-identical to :func:`repro.kernels.reference.ff_sweep`.
+    """
+    n = graph.num_vertices
+    out = base.copy()
+    W = work.shape[0]
+    if W == 0:
+        return out
+
+    identity = W == n and bool(np.array_equal(work, np.arange(n, dtype=np.int64)))
+    if identity:
+        # full sweep in id order: the sub-CSR is the CSR, positions are ids
+        lens = graph.degrees
+        sub_indptr = graph.indptr
+        nbr = graph.indices
+        nbr_pos = nbr
+        src_pos = np.repeat(np.arange(n, dtype=np.int64), lens)
+        is_pred = nbr < src_pos
+        is_succ = None  # no self-loops: every non-pred neighbor is a successor
+    else:
+        pos = np.full(n, -1, dtype=np.int64)
+        pos[work] = np.arange(W, dtype=np.int64)
+        lens = graph.degrees[work]
+        flat, src_pos = _gather_rows(graph.indptr[work], lens)
+        nbr = graph.indices[flat]
+        sub_indptr = np.zeros(W + 1, dtype=np.int64)
+        np.cumsum(lens, out=sub_indptr[1:])
+        nbr_pos = pos[nbr]
+        is_pred = (nbr_pos >= 0) & (nbr_pos < src_pos)
+        is_succ = nbr_pos > src_pos  # the neighbor is in the work list
+
+    # snapshot values are only consulted when the base has any assignment
+    base_vals = base[nbr] if bool((base >= 0).any()) else None
+    dep = np.bincount(src_pos[is_pred], minlength=W)
+
+    res = np.full(W, -1, dtype=np.int64)
+    frontier = np.nonzero(dep == 0)[0]
+    while frontier.shape[0]:
+        e, seg = _gather_rows(sub_indptr[frontier], lens[frontier])
+        pred = is_pred[e]
+        if frontier.shape[0] < _SMALL_FRONTIER:
+            # tiny round (a dependency bottleneck): per-vertex mex beats
+            # array staging; the frontier usually regrows right after
+            _scalar_round(frontier, sub_indptr, nbr_pos, is_pred, base_vals, res)
+        elif base_vals is None:
+            ep = e[pred]
+            res[frontier] = _segment_mex(
+                seg[pred], res[nbr_pos[ep]], frontier.shape[0]
+            )
+        else:
+            vals = base_vals[e]
+            vals[pred] = res[nbr_pos[e[pred]]]
+            colored = vals >= 0
+            res[frontier] = _segment_mex(seg[colored], vals[colored], frontier.shape[0])
+
+        # the committed round's own edge gather doubles as the dependency
+        # update: decrement every successor reached from the frontier
+        es = e[~pred] if identity else e[is_succ[e]]
+        if es.shape[0]:
+            dep -= np.bincount(nbr_pos[es], minlength=W)
+            # a vertex is ready exactly when its last predecessor commits,
+            # so new dep==0 pending vertices were successors this round
+            frontier = np.nonzero((dep == 0) & (res < 0))[0]
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+
+    out[work] = res
+    return out
+
+
+def _scalar_round(
+    frontier: np.ndarray,
+    sub_indptr: np.ndarray,
+    nbr_pos: np.ndarray,
+    is_pred: np.ndarray,
+    base_vals: np.ndarray,
+    res: np.ndarray,
+) -> None:
+    """Color one (small) frontier with a per-vertex loop (same semantics).
+
+    Frontier vertices form an independent set — an edge between two of
+    them would make the earlier one an uncommitted predecessor of the
+    later — so any processing order gives the same result: each vertex
+    reads committed results for earlier-in-order neighbors and snapshot
+    values otherwise, exactly as the batched round does.
+    """
+    for p in frontier:
+        lo, hi = int(sub_indptr[p]), int(sub_indptr[p + 1])
+        pred = is_pred[lo:hi]
+        if base_vals is None:
+            vals = res[nbr_pos[lo:hi][pred]]
+        else:
+            vals = base_vals[lo:hi].copy()
+            vals[pred] = res[nbr_pos[lo:hi][pred]]
+            vals = vals[vals >= 0]
+        window_len = vals.shape[0] + 1
+        present = np.zeros(window_len, dtype=bool)
+        present[vals[vals < window_len]] = True
+        res[p] = int(np.argmin(present))  # first False = smallest free color
+
+
+# ----------------------------------------------------------------------
+# shuffle drain
+# ----------------------------------------------------------------------
+def shuffle_drain(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    sizes: np.ndarray,
+    g: float,
+    *,
+    choice: str,
+    traversal: str,
+    vertex_w: np.ndarray,
+) -> int:
+    """Round-based vectorized drain of over-full bins; see module docstring.
+
+    Mutates *colors* and *sizes* in place; returns committed move count.
+    """
+    overfull = np.nonzero(sizes > g)[0]
+    if overfull.shape[0] == 0:
+        return 0
+    pools = {int(j): np.nonzero(colors == int(j))[0] for j in overfull}
+    moves = 0
+    if traversal == "color":
+        for j in pools:
+            while True:
+                committed = _bin_round(graph, colors, sizes, g, pools, j,
+                                       choice, vertex_w)
+                moves += committed
+                if committed == 0:
+                    break
+    else:  # vertex: interleave the over-full bins, one round each per sweep
+        # A bin is retired for good once it stalls or reaches γ.  Like the
+        # reference single pass, a retired bin is never re-drained even if a
+        # later mover nudges it to ceil(γ) — revisiting such bins shuttles
+        # one vertex per sweep through the fractional-γ slack and degrades
+        # the drain to one move per round.
+        active = list(pools)
+        while active:
+            still_active = []
+            for j in active:
+                committed = _bin_round(graph, colors, sizes, g, pools, j,
+                                       choice, vertex_w)
+                moves += committed
+                if committed and sizes[j] > g:
+                    still_active.append(j)
+            active = still_active
+    return moves
+
+
+def _bin_round(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    sizes: np.ndarray,
+    g: float,
+    pools: dict[int, np.ndarray],
+    j: int,
+    choice: str,
+    vertex_w: np.ndarray,
+) -> int:
+    """One batched round of moves out of source bin *j*; returns the count.
+
+    Movers all share color *j*, hence are pairwise non-adjacent: their
+    permissibility checks cannot invalidate each other and no
+    monochromatic edge can form, so commits need no conflict detection.
+    The whole batch is conflict-resolved against γ in one pass: target
+    bins are filled in choice order (FF: ascending color index; LU:
+    ascending round-start size), each admitting permissible movers by
+    vertex-id priority only while it stays strictly under γ, and the
+    source bin releases movers by id priority only while it stays strictly
+    over γ.  Committed movers leave ``pools[j]``; vertices that found no
+    admissible target stay pooled (another bin's drain may open a target
+    for them later).
+    """
+    pool = pools[j]
+    if pool.shape[0] == 0 or not sizes[j] > g:
+        return 0
+    C = sizes.shape[0]
+    underfull = np.nonzero(sizes < g)[0]
+    if choice == "lu":
+        underfull = underfull[np.argsort(sizes[underfull], kind="stable")]
+    if underfull.shape[0] == 0:
+        return 0
+
+    claimed = np.zeros(C, dtype=np.float64)
+    sel_movers, sel_tgt = [], []
+    rows_per_chunk = max(1, _PERM_CHUNK_ENTRIES // max(C, 1))
+    for lo in range(0, pool.shape[0], rows_per_chunk):
+        sub = pool[lo : lo + rows_per_chunk]
+        perm = _permissibility(graph, colors, sizes, g, sub)
+        w_sub = vertex_w[sub]
+        unassigned = np.ones(sub.shape[0], dtype=bool)
+        for k in underfull:
+            cap = g - sizes[k] - claimed[k]
+            if cap <= 0:
+                continue
+            idx = np.nonzero(unassigned & perm[:, k])[0]
+            if idx.shape[0] == 0:
+                continue
+            cw = np.cumsum(w_sub[idx])
+            take = idx[cw - w_sub[idx] < cap]  # admit while strictly under γ
+            if take.shape[0] == 0:
+                continue
+            claimed[k] += float(w_sub[take].sum())
+            unassigned[take] = False
+            sel_movers.append(sub[take])
+            sel_tgt.append(np.full(take.shape[0], int(k), dtype=np.int64))
+    if not sel_movers:
+        return 0
+
+    movers = np.concatenate(sel_movers)
+    tgt = np.concatenate(sel_tgt)
+    order = np.argsort(movers, kind="stable")
+    movers, tgt = movers[order], tgt[order]
+    w = vertex_w[movers]
+    # source quota: release in vertex-id order only while the bin stays
+    # strictly over γ, exactly like the sequential live check
+    cum = np.cumsum(w)
+    keep = sizes[j] - (cum - w) > g
+    movers, tgt, w = movers[keep], tgt[keep], w[keep]
+    if movers.shape[0] == 0:
+        return 0
+
+    colors[movers] = tgt
+    np.add.at(sizes, tgt, w)
+    sizes[j] -= float(w.sum())
+    pools[j] = pool[~np.isin(pool, movers)]
+    return int(movers.shape[0])
+
+
+def _permissibility(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    sizes: np.ndarray,
+    g: float,
+    cand: np.ndarray,
+) -> np.ndarray:
+    """Dense (candidate × bin) matrix: bin under-full and held by no neighbor."""
+    C = sizes.shape[0]
+    perm = np.broadcast_to(sizes < g, (cand.shape[0], C)).copy()
+    perm[np.arange(cand.shape[0]), colors[cand]] = False
+    flat, seg = _gather_rows(graph.indptr[cand], graph.degrees[cand])
+    nc = colors[graph.indices[flat]]
+    in_range = (nc >= 0) & (nc < C)
+    perm[seg[in_range], nc[in_range]] = False
+    return perm

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..kernels import detect_conflicts
+from ..util import check_permutation
 from .engine import TickMachine
 
 __all__ = ["parallel_greedy_ff"]
@@ -47,9 +49,7 @@ def parallel_greedy_ff(
     if ordering is None:
         work_list = np.arange(n, dtype=np.int64)
     else:
-        work_list = np.asarray(ordering, dtype=np.int64)
-        if work_list.shape[0] != n:
-            raise ValueError("ordering must cover every vertex")
+        work_list = check_permutation("ordering", ordering, n)
 
     rounds = 0
     while work_list.shape[0]:
@@ -73,7 +73,7 @@ def parallel_greedy_ff(
             colors[batch] = pending  # tick boundary: writes commit
 
         # detection phase: each vertex in the work list rescans its adjacency
-        retry = _detect_conflicts(graph, colors, work_list)
+        retry = detect_conflicts(graph, colors, work_list)
         for j, v in enumerate(work_list):
             machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
         record.conflicts = int(retry.shape[0])
@@ -87,12 +87,3 @@ def parallel_greedy_ff(
         strategy="greedy-ff-parallel",
         meta={"trace": machine.trace, "rounds": rounds, **machine.trace.summary()},
     )
-
-
-def _detect_conflicts(graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray) -> np.ndarray:
-    """Higher-id endpoints of monochromatic edges incident on *work_list*."""
-    in_work = np.zeros(graph.num_vertices, dtype=bool)
-    in_work[work_list] = True
-    u, v = graph.edge_arrays()  # u < v
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
-    return np.unique(v[mask])

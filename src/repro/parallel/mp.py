@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 
@@ -30,33 +31,24 @@ __all__ = ["mp_greedy_ff"]
 
 # Worker-process globals, installed by _init_worker (fork-safe: on Linux the
 # arrays are shared copy-on-write, so no per-task graph pickling happens).
-_G_INDPTR: np.ndarray | None = None
-_G_INDICES: np.ndarray | None = None
+_G_GRAPH: CSRGraph | None = None
 
 
 def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
-    global _G_INDPTR, _G_INDICES
-    _G_INDPTR = indptr
-    _G_INDICES = indices
+    global _G_GRAPH
+    _G_GRAPH = CSRGraph(indptr, indices, validate=False)
 
 
-def _color_block(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
-    """FF-color one block of vertices against a colors snapshot."""
-    block, colors = args
-    indptr, indices = _G_INDPTR, _G_INDICES
-    out = np.empty(block.shape[0], dtype=np.int64)
-    local = colors.copy()  # worker sees its own in-block commits immediately
-    for i, v in enumerate(block):
-        v = int(v)
-        row = indices[indptr[v] : indptr[v + 1]]
-        nbr = local[row]
-        used = set(int(c) for c in nbr[nbr >= 0])
-        k = 0
-        while k in used:
-            k += 1
-        out[i] = k
-        local[v] = k
-    return out
+def _color_block(args: tuple[np.ndarray, np.ndarray, str]) -> np.ndarray:
+    """FF-color one block of vertices against a colors snapshot.
+
+    Commits are local to the block: each vertex sees the new colors of
+    earlier block members plus the (possibly stale) snapshot for everyone
+    else — exactly :func:`repro.kernels.ff_sweep` with ``base=snapshot``.
+    """
+    block, colors, backend = args
+    local = kernels.ff_sweep(_G_GRAPH, block, colors, backend=backend)
+    return local[block]
 
 
 def mp_greedy_ff(
@@ -66,6 +58,7 @@ def mp_greedy_ff(
     max_rounds: int = 100,
     partition: str = "block",
     seed=None,
+    backend: str | None = None,
 ) -> Coloring:
     """Greedy-FF coloring computed by *num_workers* OS processes.
 
@@ -78,6 +71,10 @@ def mp_greedy_ff(
     :mod:`repro.parallel.partition`): ``"block"``, ``"random"``, or
     ``"bfs"`` — fewer cross-partition edges mean fewer speculative
     conflicts and fewer retry rounds.
+
+    ``backend`` selects the per-worker FF-sweep kernel (see
+    :mod:`repro.kernels`).  Both backends produce bit-identical block
+    colorings, so the overall result is backend-independent.
 
     Returns a proper :class:`Coloring`; ``meta["rounds"]`` records how many
     speculation rounds were needed and ``meta["conflicts"]`` the total
@@ -95,6 +92,7 @@ def mp_greedy_ff(
     if partition not in partitioners:
         raise ValueError(
             f"partition must be one of {sorted(partitioners)}, got {partition!r}")
+    resolved = kernels.resolve_backend(backend)
     n = graph.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
     work_list = np.arange(n, dtype=np.int64)
@@ -103,11 +101,11 @@ def mp_greedy_ff(
 
     if num_workers == 1:
         _init_worker(graph.indptr, graph.indices)
-        colors[work_list] = _color_block((work_list, colors))
+        colors[work_list] = _color_block((work_list, colors, resolved))
         num_colors = int(colors.max(initial=-1)) + 1
         return Coloring(colors, num_colors, strategy="greedy-ff-mp",
                         meta={"workers": 1, "rounds": 1, "conflicts": 0,
-                              "partition": partition})
+                              "partition": partition, "backend": resolved})
 
     # the partition fixes a global order; each round splits the remaining
     # work list along it, preserving the partitioner's locality
@@ -129,15 +127,15 @@ def mp_greedy_ff(
             rounds += 1
             ordered = work_list[np.argsort(position[work_list])]
             blocks = [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
-            results = pool.map(_color_block, [(b, colors) for b in blocks])
+            results = pool.map(_color_block, [(b, colors, resolved) for b in blocks])
             for b, res in zip(blocks, results):
                 colors[b] = res
-            work_list = _conflict_losers(graph, colors, work_list)
+            work_list = kernels.detect_conflicts(graph, colors, work_list)
             total_conflicts += int(work_list.shape[0])
 
     if work_list.shape[0]:  # residual conflicts: finish sequentially
         _init_worker(graph.indptr, graph.indices)
-        colors[work_list] = _color_block((work_list, colors))
+        colors[work_list] = _color_block((work_list, colors, resolved))
 
     num_colors = int(colors.max(initial=-1)) + 1
     return Coloring(
@@ -145,13 +143,6 @@ def mp_greedy_ff(
         num_colors,
         strategy="greedy-ff-mp",
         meta={"workers": num_workers, "rounds": rounds,
-              "conflicts": total_conflicts, "partition": partition},
+              "conflicts": total_conflicts, "partition": partition,
+              "backend": resolved},
     )
-
-
-def _conflict_losers(graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray) -> np.ndarray:
-    in_work = np.zeros(graph.num_vertices, dtype=bool)
-    in_work[work_list] = True
-    u, v = graph.edge_arrays()
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
-    return np.unique(v[mask])

@@ -20,6 +20,7 @@ from ..coloring.balance import gamma as _gamma
 from ..coloring.recolor import reverse_class_order
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..kernels import detect_conflicts
 from .engine import TickMachine
 
 __all__ = ["parallel_recoloring"]
@@ -90,7 +91,7 @@ def parallel_recoloring(
                 staged[j] = k
             colors[batch] = staged  # tick boundary: plain writes commit
 
-        retry = _detect(graph, colors, work_list)
+        retry = detect_conflicts(graph, colors, work_list)
         for j, v in enumerate(work_list):
             machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
         record.conflicts = int(retry.shape[0])
@@ -112,12 +113,3 @@ def parallel_recoloring(
             **machine.trace.summary(),
         },
     )
-
-
-def _detect(graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray) -> np.ndarray:
-    """Higher-id endpoints of monochromatic edges within the work list."""
-    in_work = np.zeros(graph.num_vertices, dtype=bool)
-    in_work[work_list] = True
-    u, v = graph.edge_arrays()
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
-    return np.unique(v[mask])

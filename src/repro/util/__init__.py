@@ -10,6 +10,7 @@ from .validation import (
     check_array_1d,
     check_in_range,
     check_nonnegative,
+    check_permutation,
     check_positive,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "check_array_1d",
     "check_in_range",
     "check_nonnegative",
+    "check_permutation",
     "check_positive",
 ]

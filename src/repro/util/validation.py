@@ -12,6 +12,7 @@ __all__ = [
     "check_array_1d",
     "check_in_range",
     "check_nonnegative",
+    "check_permutation",
     "check_positive",
 ]
 
@@ -32,6 +33,24 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
     """Raise ``ValueError`` unless ``lo <= value <= hi``."""
     if not (lo <= value <= hi):
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_permutation(name: str, order: np.ndarray, n: int) -> np.ndarray:
+    """Validate that *order* is a permutation of ``0..n-1``; return it as int64.
+
+    Runs in O(n) via ``np.bincount`` (the former sort-based check was
+    O(n log n) and materialized Python lists on the hot path).
+    """
+    order = np.asarray(order, dtype=np.int64)
+    if order.ndim != 1 or order.shape[0] != n:
+        raise ValueError(f"{name} must be a permutation of all vertices")
+    if n and (
+        order.min() < 0
+        or order.max() >= n
+        or np.bincount(order, minlength=n).max(initial=0) != 1
+    ):
+        raise ValueError(f"{name} must be a permutation of all vertices")
+    return order
 
 
 def check_array_1d(name: str, arr: np.ndarray, length: int | None = None) -> np.ndarray:

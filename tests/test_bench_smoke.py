@@ -1,0 +1,48 @@
+"""Smoke coverage for the kernel benchmark CLI.
+
+Runs ``benchmarks/bench_kernels.py --quick`` in a subprocess against the
+checked-in ``BENCH_kernels.json`` baseline: the test fails if the script
+crashes or if any kernel regressed to less than half its recorded
+vectorized/reference speedup (the ``--check`` contract).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_kernels.py"
+BASELINE = REPO_ROOT / "BENCH_kernels.json"
+
+
+def test_baseline_artifact_shows_target_speedup():
+    """The checked-in artifact must meet the 10x FF target at >=1e5 edges."""
+    payload = json.loads(BASELINE.read_text())
+    best = max(
+        r["speedup"]
+        for r in payload["results"]
+        if r["kernel"] == "ff_sweep" and r["num_edges"] >= 100_000
+    )
+    assert best >= 10.0
+
+
+@pytest.mark.slow
+def test_quick_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick", "--out", str(out),
+         "--check", str(BASELINE)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    assert payload["results"], "quick bench produced no rows"
+    kernels_seen = {r["kernel"] for r in payload["results"]}
+    assert kernels_seen == {"ff_sweep", "shuffle_vertex", "shuffle_color"}

@@ -1,0 +1,312 @@
+"""Backend equivalence and dispatch tests for the kernel layer.
+
+The ``vectorized`` backend must be *bit-identical* to ``reference`` for the
+First-Fit sweep (any work list, any base snapshot) and must produce proper,
+equally-sized, at-least-as-balanced colorings for every shuffle variant.
+The dispatch machinery (argument > override > environment > default) is
+tested separately from the kernels themselves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.coloring import (
+    balanced_recoloring,
+    greedy_coloring,
+    is_proper,
+    iterated_greedy,
+    shuffle_balance,
+)
+from repro.coloring.balance import gamma, relative_std_dev
+from repro.graph import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    from_edge_arrays,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.kernels import reference, vectorized
+from repro.parallel import parallel_greedy_ff
+from repro.parallel.mp import mp_greedy_ff
+
+MAX_N = 40
+
+
+@st.composite
+def graphs(draw):
+    """A random simple graph with up to MAX_N vertices (isolated ones kept)."""
+    n = draw(st.integers(min_value=2, max_value=MAX_N))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return from_edge_arrays(np.asarray(u, dtype=np.int64),
+                            np.asarray(v, dtype=np.int64), num_vertices=n)
+
+
+def fixed_graphs():
+    """Named deterministic graphs covering the documented edge cases."""
+    return [
+        ("empty", empty_graph(17)),
+        ("isolated+edges", from_edge_arrays(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 2, 3], dtype=np.int64), num_vertices=9)),
+        ("star", star_graph(33)),
+        ("complete", complete_graph(12)),
+        ("path", path_graph(64)),
+        ("er", erdos_renyi_graph(300, 0.03, seed=5)),
+        ("rmat", rmat_graph(9, 8, seed=7)),
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend_override():
+    yield
+    kernels.set_default_backend(None)
+
+
+# ----------------------------------------------------------------------
+# First-Fit sweep: bit-identity
+# ----------------------------------------------------------------------
+class TestFFSweepEquivalence:
+    @pytest.mark.parametrize(
+        "g", [g for _, g in fixed_graphs()], ids=[n for n, _ in fixed_graphs()]
+    )
+    @pytest.mark.parametrize("ordering", ["natural", "random", "largest_first", "smallest_last"])
+    def test_bit_identical_full_sweep(self, g, ordering):
+        a = greedy_coloring(g, ordering=ordering, seed=3, backend="reference")
+        b = greedy_coloring(g, ordering=ordering, seed=3, backend="vectorized")
+        assert np.array_equal(a.colors, b.colors)
+        assert a.num_colors == b.num_colors
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), st.sampled_from(["natural", "random", "largest_first"]))
+    def test_bit_identical_property(self, g, ordering):
+        a = greedy_coloring(g, ordering=ordering, seed=1, backend="reference")
+        b = greedy_coloring(g, ordering=ordering, seed=1, backend="vectorized")
+        assert np.array_equal(a.colors, b.colors)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), st.integers(0, 2**31 - 1))
+    def test_bit_identical_with_base_snapshot(self, g, seed):
+        """Worker semantics: partial work list against a stale snapshot."""
+        rng = np.random.default_rng(seed)
+        n = g.num_vertices
+        base = rng.integers(-1, 4, size=n).astype(np.int64)
+        k = int(rng.integers(0, n + 1))
+        work = rng.permutation(n)[:k].astype(np.int64)
+        a = kernels.ff_sweep(g, work, base, backend="reference")
+        b = kernels.ff_sweep(g, work, base, backend="vectorized")
+        assert np.array_equal(a, b)
+        untouched = np.setdiff1d(np.arange(n), work)
+        assert np.array_equal(a[untouched], base[untouched])
+
+    def test_empty_work_list_returns_base_copy(self, random_graph):
+        base = np.full(random_graph.num_vertices, -1, dtype=np.int64)
+        out = kernels.ff_sweep(random_graph, np.empty(0, dtype=np.int64), base,
+                               backend="vectorized")
+        assert np.array_equal(out, base)
+        assert out is not base
+
+    def test_lu_and_random_delegate_to_reference_loop(self, random_graph):
+        """Non-FF choice rules are sequential under every backend."""
+        for choice in ("lu", "random"):
+            a = greedy_coloring(random_graph, choice=choice, seed=9,
+                                backend="reference")
+            b = greedy_coloring(random_graph, choice=choice, seed=9,
+                                backend="vectorized")
+            assert np.array_equal(a.colors, b.colors)
+
+
+# ----------------------------------------------------------------------
+# Shuffle drain: proper, same C, never less balanced
+# ----------------------------------------------------------------------
+class TestShuffleEquivalence:
+    @pytest.mark.parametrize("choice", ["ff", "lu"])
+    @pytest.mark.parametrize("traversal", ["vertex", "color"])
+    @pytest.mark.parametrize("weight", ["unit", "degree"])
+    def test_fixed_graph_regime(self, choice, traversal, weight):
+        g = erdos_renyi_graph(600, 0.02, seed=11)
+        init = greedy_coloring(g)
+        ref = shuffle_balance(g, init, choice=choice, traversal=traversal,
+                              weight=weight, backend="reference")
+        vec = shuffle_balance(g, init, choice=choice, traversal=traversal,
+                              weight=weight, backend="vectorized")
+        for out in (ref, vec):
+            assert is_proper(g, out)
+            assert out.num_colors == init.num_colors
+        rsd_ref = relative_std_dev(ref.class_sizes())
+        rsd_vec = relative_std_dev(vec.class_sizes())
+        rsd_init = relative_std_dev(init.class_sizes())
+        # both backends must land in the same balance regime; only unit
+        # weight provably improves the vertex-count RSD
+        if weight == "unit":
+            assert rsd_vec <= rsd_init
+        assert rsd_vec <= rsd_ref + 5.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), st.sampled_from(["ff", "lu"]),
+           st.sampled_from(["vertex", "color"]))
+    def test_property_proper_and_no_new_overfull(self, g, choice, traversal):
+        init = greedy_coloring(g)
+        vec = shuffle_balance(g, init, choice=choice, traversal=traversal,
+                              backend="vectorized")
+        assert is_proper(g, vec)
+        assert vec.num_colors == init.num_colors
+        if init.num_colors:
+            gam = gamma(g.num_vertices, init.num_colors)
+            # drains never push an under-γ bin past ceil(γ): overfull total
+            # weight can only shrink
+            over_init = np.maximum(init.class_sizes() - gam, 0).sum()
+            over_vec = np.maximum(vec.class_sizes() - gam, 0).sum()
+            assert over_vec <= over_init + 1e-9
+
+    def test_moves_metadata_counts_actual_moves(self):
+        g = erdos_renyi_graph(400, 0.03, seed=13)
+        init = greedy_coloring(g)
+        vec = shuffle_balance(g, init, backend="vectorized")
+        assert vec.meta["moves"] == int((vec.colors != init.colors).sum())
+        assert vec.meta["backend"] == "vectorized"
+
+
+# ----------------------------------------------------------------------
+# Conflict/bin accounting kernels
+# ----------------------------------------------------------------------
+class TestConflictKernels:
+    def test_monochromatic_edges_and_count(self, path10):
+        colors = np.zeros(10, dtype=np.int64)  # every edge monochromatic
+        u, v = kernels.monochromatic_edges(path10, colors)
+        assert u.shape[0] == 9
+        assert kernels.count_monochromatic_edges(path10, colors) == 9
+        proper = np.arange(10, dtype=np.int64) % 2
+        assert kernels.count_monochromatic_edges(path10, proper) == 0
+
+    def test_uncolored_vertices_never_conflict(self, path10):
+        colors = np.full(10, -1, dtype=np.int64)
+        assert kernels.count_monochromatic_edges(path10, colors) == 0
+
+    def test_detect_conflicts_returns_higher_id_losers_in_work(self, path10):
+        colors = np.zeros(10, dtype=np.int64)
+        work = np.array([0, 1, 2], dtype=np.int64)
+        losers = kernels.detect_conflicts(path10, colors, work)
+        assert np.array_equal(losers, [1, 2])  # 3..9 not in the work list
+
+    def test_bin_sizes_ignores_uncolored(self):
+        colors = np.array([0, 2, 2, -1, 1], dtype=np.int64)
+        assert np.array_equal(kernels.bin_sizes(colors, 4), [1, 1, 2, 0])
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch machinery
+# ----------------------------------------------------------------------
+class TestBackendDispatch:
+    def test_available_backends(self):
+        assert kernels.available_backends() == ("reference", "vectorized")
+
+    def test_invalid_backend_rejected(self, random_graph):
+        with pytest.raises(ValueError, match="backend"):
+            greedy_coloring(random_graph, backend="numba")
+        with pytest.raises(ValueError, match="backend"):
+            kernels.resolve_backend("gpu")
+        with pytest.raises(ValueError, match="backend"):
+            kernels.set_default_backend("cuda")
+
+    def test_default_and_explicit_resolution(self):
+        assert kernels.resolve_backend(None) == "vectorized"
+        assert kernels.resolve_backend(None, default="reference") == "reference"
+        assert kernels.resolve_backend("reference") == "reference"
+
+    def test_env_var_selects_backend(self, monkeypatch, random_graph):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert kernels.get_default_backend() == "reference"
+        c = greedy_coloring(random_graph)
+        assert c.meta["backend"] == "reference"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "turbo")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            kernels.get_default_backend()
+
+    def test_override_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        kernels.set_default_backend("vectorized")
+        assert kernels.resolve_backend(None, default="reference") == "vectorized"
+        kernels.set_default_backend(None)
+        assert kernels.resolve_backend(None) == "reference"
+
+    def test_meta_records_backend(self, random_graph):
+        assert greedy_coloring(random_graph).meta["backend"] == "vectorized"
+        assert greedy_coloring(random_graph, choice="lu").meta["backend"] == "reference"
+        init = greedy_coloring(random_graph)
+        assert shuffle_balance(random_graph, init).meta["backend"] == "reference"
+        assert shuffle_balance(random_graph, init, backend="vectorized").meta[
+            "backend"] == "vectorized"
+
+
+# ----------------------------------------------------------------------
+# Backend threading through the higher layers
+# ----------------------------------------------------------------------
+class TestBackendThreading:
+    def test_iterated_greedy_backends_identical(self, random_graph):
+        init = greedy_coloring(random_graph)
+        a = iterated_greedy(random_graph, init, iterations=2, backend="reference")
+        b = iterated_greedy(random_graph, init, iterations=2, backend="vectorized")
+        assert np.array_equal(a.colors, b.colors)
+        assert b.meta["backend"] == "vectorized"
+
+    def test_balanced_recoloring_accepts_backend(self, random_graph):
+        init = greedy_coloring(random_graph)
+        out = balanced_recoloring(random_graph, init, backend="vectorized")
+        assert is_proper(random_graph, out)
+        with pytest.raises(ValueError, match="backend"):
+            balanced_recoloring(random_graph, init, backend="bogus")
+
+    def test_mp_single_worker_backends_identical(self, random_graph):
+        a = mp_greedy_ff(random_graph, num_workers=1, backend="reference")
+        b = mp_greedy_ff(random_graph, num_workers=1, backend="vectorized")
+        assert np.array_equal(a.colors, b.colors)
+        assert b.meta["backend"] == "vectorized"
+
+    def test_mp_two_workers_backends_identical(self):
+        g = erdos_renyi_graph(300, 0.03, seed=21)
+        a = mp_greedy_ff(g, num_workers=2, backend="reference")
+        b = mp_greedy_ff(g, num_workers=2, backend="vectorized")
+        assert np.array_equal(a.colors, b.colors)
+        assert is_proper(g, b)
+
+    def test_parallel_greedy_rejects_bad_ordering(self, random_graph):
+        n = random_graph.num_vertices
+        bad = np.zeros(n, dtype=np.int64)  # right length, not a permutation
+        with pytest.raises(ValueError, match="permutation"):
+            parallel_greedy_ff(random_graph, ordering=bad)
+
+    def test_greedy_rejects_non_permutation_ordering(self, random_graph):
+        n = random_graph.num_vertices
+        dup = np.arange(n, dtype=np.int64)
+        dup[0] = 1  # vertex 0 missing, vertex 1 twice
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_coloring(random_graph, ordering=dup)
+
+
+# ----------------------------------------------------------------------
+# Larger randomized cross-check
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_large_graph_full_equivalence():
+    g = rmat_graph(14, 8, seed=17)
+    a = greedy_coloring(g, backend="reference")
+    b = greedy_coloring(g, backend="vectorized")
+    assert np.array_equal(a.colors, b.colors)
+    for traversal in ("vertex", "color"):
+        ref = shuffle_balance(g, a, traversal=traversal, backend="reference")
+        vec = shuffle_balance(g, b, traversal=traversal, backend="vectorized")
+        assert is_proper(g, vec)
+        assert vec.num_colors == a.num_colors
+        assert relative_std_dev(vec.class_sizes()) <= (
+            relative_std_dev(ref.class_sizes()) + 2.0)
+    direct = reference.ff_sweep(g, np.arange(g.num_vertices, dtype=np.int64),
+                                np.full(g.num_vertices, -1, dtype=np.int64))
+    batch = vectorized.ff_sweep(g, np.arange(g.num_vertices, dtype=np.int64),
+                                np.full(g.num_vertices, -1, dtype=np.int64))
+    assert np.array_equal(direct, batch)

@@ -30,6 +30,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import kernels  # noqa: E402
 from repro.coloring import greedy_coloring, shuffle_balance  # noqa: E402
+from repro.obs import NULL, Recorder, write_jsonl  # noqa: E402
 from repro.graph import (  # noqa: E402
     erdos_renyi_graph,
     powerlaw_cluster_graph,
@@ -64,8 +65,13 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def bench_graph(name, graph, repeats: int):
-    """Yield one result row per kernel for *graph*."""
+def bench_graph(name, graph, repeats: int, recorder=NULL):
+    """Yield one result row per kernel for *graph*.
+
+    *recorder* (a :class:`repro.obs.Recorder`) gets one ``bench_row``
+    event per row inside a per-graph phase timer; the timed jobs
+    themselves run without a recorder so the measurements stay clean.
+    """
     init = greedy_coloring(graph, backend="reference")
     jobs = {
         "ff_sweep": lambda be: greedy_coloring(graph, backend=be),
@@ -74,24 +80,26 @@ def bench_graph(name, graph, repeats: int):
         "shuffle_color": lambda be: shuffle_balance(
             graph, init, traversal="color", backend=be),
     }
-    for kernel, job in jobs.items():
-        ref = _best_of(lambda: job("reference"), repeats)
-        vec = _best_of(lambda: job("vectorized"), repeats)
-        row = {
-            "graph": name,
-            "num_vertices": graph.num_vertices,
-            "num_edges": graph.num_edges,
-            "kernel": kernel,
-            "reference_s": round(ref, 6),
-            "vectorized_s": round(vec, 6),
-            "speedup": round(ref / vec, 3) if vec > 0 else float("inf"),
-        }
-        print(
-            f"{name:>10}  {kernel:<14} ref {ref:8.4f}s  "
-            f"vec {vec:8.4f}s  {row['speedup']:6.2f}x",
-            flush=True,
-        )
-        yield row
+    with recorder.phase(f"bench/{name}"):
+        for kernel, job in jobs.items():
+            ref = _best_of(lambda: job("reference"), repeats)
+            vec = _best_of(lambda: job("vectorized"), repeats)
+            row = {
+                "graph": name,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "kernel": kernel,
+                "reference_s": round(ref, 6),
+                "vectorized_s": round(vec, 6),
+                "speedup": round(ref / vec, 3) if vec > 0 else float("inf"),
+            }
+            print(
+                f"{name:>10}  {kernel:<14} ref {ref:8.4f}s  "
+                f"vec {vec:8.4f}s  {row['speedup']:6.2f}x",
+                flush=True,
+            )
+            recorder.event("bench_row", **row)
+            yield row
 
 
 def check_against_baseline(results, baseline_path: Path) -> int:
@@ -132,15 +140,19 @@ def main(argv=None) -> int:
                         "exit 1 on >2x regression")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per kernel (default 3, quick 1)")
+    parser.add_argument("--trace", type=Path, metavar="FILE",
+                        help="archive bench events (per-row results, "
+                        "per-graph phase timers) as JSON lines to FILE")
     args = parser.parse_args(argv)
 
     suite = QUICK_SUITE if args.quick else FULL_SUITE
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    recorder = Recorder() if args.trace else NULL
 
     results = []
     for name, factory in suite:
         graph = factory()
-        results.extend(bench_graph(name, graph, repeats))
+        results.extend(bench_graph(name, graph, repeats, recorder=recorder))
 
     payload = {
         "meta": {
@@ -153,6 +165,9 @@ def main(argv=None) -> int:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if args.trace:
+        lines = write_jsonl(recorder, args.trace)
+        print(f"archived {lines} events to {args.trace}")
 
     if args.check:
         return check_against_baseline(results, args.check)

@@ -25,10 +25,13 @@ Subpackages
     application.
 ``repro.experiments``
     Harness regenerating every table and figure of the evaluation.
+``repro.obs``
+    Structured observability: recorders, phase timers, superstep traces,
+    and a JSON-lines event exporter threaded through every pipeline.
 """
 
 from .graph import CSRGraph, load_dataset
-from . import kernels
+from . import kernels, obs
 from .coloring import (
     Coloring,
     balance_coloring,
@@ -48,5 +51,6 @@ __all__ = [
     "color_and_balance",
     "balance_report",
     "kernels",
+    "obs",
     "__version__",
 ]

@@ -6,12 +6,14 @@ Examples::
     python -m repro table3 --scale 0.25
     python -m repro fig1b --csv out/
     python -m repro all --scale 0.1
+    python -m repro table3 --trace table3.jsonl   # archive the event stream
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from .experiments import (
@@ -82,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write each table as CSV into DIR")
     parser.add_argument("--report", type=Path, default=None, metavar="FILE",
                         help="also append every rendered table to FILE (markdown)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="record structured run events (phase timers, "
+                        "per-round/superstep metrics) and archive them as "
+                        "JSON lines to FILE (.gz compresses)")
     return parser
 
 
@@ -94,16 +100,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     report_chunks: list[str] = []
-    for name in names:
-        for table in _EXPERIMENTS[name](args.scale, args.seed):
-            print(table.render())
-            print()
-            if args.csv is not None:
-                args.csv.mkdir(parents=True, exist_ok=True)
-                slug = table.title.split("—")[0].strip().lower().replace(" ", "_")
-                table.to_csv(args.csv / f"{slug}.csv")
-            if args.report is not None:
-                report_chunks.append(f"```\n{table.render()}\n```")
+    from .experiments import traced_run
+
+    tracer = traced_run(args.trace) if args.trace is not None else nullcontext(None)
+    with tracer as recorder:
+        for name in names:
+            for table in _EXPERIMENTS[name](args.scale, args.seed):
+                print(table.render())
+                print()
+                if args.csv is not None:
+                    args.csv.mkdir(parents=True, exist_ok=True)
+                    slug = table.title.split("—")[0].strip().lower().replace(" ", "_")
+                    table.to_csv(args.csv / f"{slug}.csv")
+                if args.report is not None:
+                    report_chunks.append(f"```\n{table.render()}\n```")
+    if recorder is not None:
+        print(recorder.summary())
+        print(f"archived {len(recorder.events)} events to {args.trace}")
     if args.report is not None:
         header = (f"# repro results (scale={args.scale}, seed={args.seed})\n\n")
         args.report.write_text(header + "\n\n".join(report_chunks) + "\n")

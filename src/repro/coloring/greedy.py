@@ -25,7 +25,9 @@ import numpy as np
 from .. import kernels
 from ..graph.csr import CSRGraph
 from ..graph.orderings import vertex_order
+from ..obs import as_recorder
 from ..util import as_rng, check_permutation
+from .balance import relative_std_dev
 from .types import Coloring
 
 __all__ = ["greedy_coloring"]
@@ -41,6 +43,7 @@ def greedy_coloring(
     seed=None,
     palette_bound: int | None = None,
     backend: str | None = None,
+    recorder=None,
 ) -> Coloring:
     """Color *graph* with Algorithm 1 and the given color-choice rule.
 
@@ -69,6 +72,10 @@ def greedy_coloring(
         ``"random"`` always run the sequential loop: their choice rules
         thread per-vertex state (live bin sizes, the RNG stream) through
         the sweep, which a batched round cannot replicate exactly.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  Emits ``order``/``sweep``
+        phase timers and a final ``coloring`` event (colors, RSD, backend).
+        Purely observational — the result is identical with or without it.
 
     Returns
     -------
@@ -77,23 +84,28 @@ def greedy_coloring(
     """
     if choice not in _CHOICES:
         raise ValueError(f"choice must be one of {_CHOICES}, got {choice!r}")
+    rec = as_recorder(recorder)
     n = graph.num_vertices
-    if isinstance(ordering, str):
-        order = vertex_order(graph, ordering, seed=seed)
-    else:
-        order = check_permutation("ordering", ordering, n)
+    with rec.phase(f"greedy-{choice}/order"):
+        if isinstance(ordering, str):
+            order = vertex_order(graph, ordering, seed=seed)
+        else:
+            order = check_permutation("ordering", ordering, n)
 
     ordering_meta = ordering if isinstance(ordering, str) else "explicit"
     resolved = kernels.resolve_backend(backend)
     if choice == "ff":
-        colors = kernels.ff_sweep(graph, order, backend=resolved)
+        with rec.phase("greedy-ff/sweep"):
+            colors = kernels.ff_sweep(graph, order, backend=resolved)
         num_colors = int(colors.max(initial=-1)) + 1
-        return Coloring(
+        result = Coloring(
             colors,
             num_colors,
             strategy="greedy-ff",
             meta={"ordering": ordering_meta, "backend": resolved},
         )
+        _emit_coloring(rec, result)
+        return result
 
     rng = as_rng(seed) if choice == "random" else None
     max_deg = graph.max_degree
@@ -113,40 +125,61 @@ def greedy_coloring(
     indptr, indices = graph.indptr, graph.indices
     num_colors = 0
 
-    for v in order:
-        v = int(v)
-        nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
-        nbr_colors = nbr_colors[nbr_colors >= 0]
-        forbidden[nbr_colors] = v
+    with rec.phase(f"greedy-{choice}/sweep"):
+        for v in order:
+            v = int(v)
+            nbr_colors = colors[indices[indptr[v] : indptr[v + 1]]]
+            nbr_colors = nbr_colors[nbr_colors >= 0]
+            forbidden[nbr_colors] = v
 
-        if choice == "lu":
-            if num_colors == 0:
-                k = 0
-            else:
-                open_mask = forbidden[:num_colors] != v
-                if open_mask.any():
-                    permissible = np.nonzero(open_mask)[0]
-                    k = int(permissible[np.argmin(sizes[permissible])])
+            if choice == "lu":
+                if num_colors == 0:
+                    k = 0
                 else:
-                    k = num_colors  # open a new color
-        else:  # random
-            open_mask = forbidden[:bound] != v
-            permissible = np.nonzero(open_mask)[0]
-            if permissible.shape[0]:
-                k = int(permissible[rng.integers(permissible.shape[0])])
-            else:
-                # palette exhausted: smallest permissible color beyond B
-                window = forbidden[bound : bound + nbr_colors.shape[0] + 1]
-                k = bound + int(np.argmax(window != v))
+                    open_mask = forbidden[:num_colors] != v
+                    if open_mask.any():
+                        permissible = np.nonzero(open_mask)[0]
+                        k = int(permissible[np.argmin(sizes[permissible])])
+                    else:
+                        k = num_colors  # open a new color
+            else:  # random
+                open_mask = forbidden[:bound] != v
+                permissible = np.nonzero(open_mask)[0]
+                if permissible.shape[0]:
+                    k = int(permissible[rng.integers(permissible.shape[0])])
+                else:
+                    # palette exhausted: smallest permissible color beyond B
+                    window = forbidden[bound : bound + nbr_colors.shape[0] + 1]
+                    k = bound + int(np.argmax(window != v))
 
-        colors[v] = k
-        sizes[k] += 1
-        if k >= num_colors:
-            num_colors = k + 1
+            colors[v] = k
+            sizes[k] += 1
+            if k >= num_colors:
+                num_colors = k + 1
 
-    return Coloring(
+    result = Coloring(
         colors,
         num_colors,
         strategy=f"greedy-{choice}",
         meta={"ordering": ordering_meta, "backend": "reference"},
     )
+    _emit_coloring(rec, result)
+    return result
+
+
+def _emit_coloring(rec, coloring: Coloring) -> None:
+    """Emit the final ``coloring`` event and quality gauges (if recording)."""
+    if not rec.enabled:
+        return
+    sizes = coloring.class_sizes()
+    rsd = relative_std_dev(sizes)
+    rec.event(
+        "coloring",
+        strategy=coloring.strategy,
+        num_vertices=coloring.num_vertices,
+        num_colors=coloring.num_colors,
+        rsd_percent=rsd,
+        backend=coloring.meta.get("backend"),
+    )
+    rec.gauge(f"{coloring.strategy}.num_colors", coloring.num_colors)
+    rec.gauge(f"{coloring.strategy}.rsd_percent", rsd)

@@ -20,7 +20,9 @@ import numpy as np
 
 from .. import kernels
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
 from .balance import gamma as _gamma
+from .balance import relative_std_dev
 from .types import Coloring
 
 __all__ = ["balanced_recoloring", "iterated_greedy", "reverse_class_order"]
@@ -89,30 +91,48 @@ def iterated_greedy(
     *,
     iterations: int = 1,
     backend: str | None = None,
+    recorder=None,
 ) -> Coloring:
     """Culberson's Iterated Greedy: reverse-class FF sweeps.
 
     Each sweep is guaranteed to use no more colors than the previous
     coloring; iterating drives the count toward (but not provably to) the
     optimum.  ``backend`` selects the FF-sweep kernel (see
-    :mod:`repro.kernels`); both backends are bit-identical.
+    :mod:`repro.kernels`); both backends are bit-identical.  ``recorder``
+    (optional :class:`repro.obs.Recorder`) gets one ``iteration`` event
+    per sweep — color count before/after — inside an ``iterated-greedy``
+    phase timer; attaching one never changes the result.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
+    rec = as_recorder(recorder)
     resolved = kernels.resolve_backend(backend)
     current = initial
-    for _ in range(iterations):
-        order = reverse_class_order(current)
-        colors = kernels.ff_sweep(graph, order, backend=resolved)
-        num_colors = int(colors.max(initial=-1)) + 1
-        current = Coloring(colors, num_colors, strategy="iterated-greedy")
+    with rec.phase("iterated-greedy"):
+        for i in range(iterations):
+            before = current.num_colors
+            order = reverse_class_order(current)
+            colors = kernels.ff_sweep(graph, order, backend=resolved)
+            num_colors = int(colors.max(initial=-1)) + 1
+            current = Coloring(colors, num_colors, strategy="iterated-greedy")
+            if rec.enabled:
+                rec.event("iteration", index=i, colors_before=before,
+                          colors_after=num_colors, backend=resolved)
+    if rec.enabled:
+        rec.event("coloring", strategy="iterated-greedy",
+                  num_vertices=current.num_vertices,
+                  num_colors=current.num_colors,
+                  rsd_percent=relative_std_dev(current.class_sizes()),
+                  backend=resolved)
+        rec.gauge("iterated-greedy.num_colors", current.num_colors)
     return current.with_meta(
         iterations=iterations, initial_strategy=initial.strategy, backend=resolved
     )
 
 
 def balanced_recoloring(
-    graph: CSRGraph, initial: Coloring, *, backend: str | None = None
+    graph: CSRGraph, initial: Coloring, *, backend: str | None = None,
+    recorder=None,
 ) -> Coloring:
     """Balanced Recoloring (sequential Algorithm 5).
 
@@ -129,13 +149,22 @@ def balanced_recoloring(
         raise ValueError("coloring does not match graph")
     if initial.num_colors == 0:
         return initial
+    rec = as_recorder(recorder)
     g = _gamma(initial.num_vertices, initial.num_colors)
-    order = reverse_class_order(initial)
-    colors, num_colors = _capacity_ff_sweep(graph, order, capacity=g)
-    return Coloring(
+    with rec.phase("recoloring/sweep"):
+        order = reverse_class_order(initial)
+        colors, num_colors = _capacity_ff_sweep(graph, order, capacity=g)
+    result = Coloring(
         colors,
         num_colors,
         strategy="recoloring",
         meta={"gamma": g, "initial_colors": initial.num_colors,
               "initial_strategy": initial.strategy, "backend": "reference"},
     )
+    if rec.enabled:
+        rec.event("coloring", strategy="recoloring",
+                  num_vertices=result.num_vertices, num_colors=num_colors,
+                  rsd_percent=relative_std_dev(result.class_sizes()),
+                  gamma=g, initial_colors=initial.num_colors)
+        rec.gauge("recoloring.num_colors", num_colors)
+    return result

@@ -34,6 +34,8 @@ import numpy as np
 
 from .. import kernels
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
+from .balance import relative_std_dev
 from .types import Coloring
 
 __all__ = ["shuffle_balance", "_pick_target"]
@@ -50,6 +52,7 @@ def shuffle_balance(
     traversal: str = "vertex",
     weight: str = "unit",
     backend: str | None = None,
+    recorder=None,
 ) -> Coloring:
     """Balance *initial* by moving vertices out of over-full bins.
 
@@ -64,6 +67,11 @@ def shuffle_balance(
     ``reference`` backend (the default here) is the paper's sequential
     single pass; ``vectorized`` batches moves in whole-array rounds and
     reaches the same balance regime with a different move trace.
+
+    ``recorder`` (optional :class:`repro.obs.Recorder`) receives a
+    ``drain`` phase timer, per-round ``drain_round`` events from the
+    kernel (moves, live RSD of the bin sizes), and a final ``balance``
+    event; attaching one never changes the result.
     """
     if choice not in _CHOICES:
         raise ValueError(f"choice must be one of {_CHOICES}, got {choice!r}")
@@ -86,26 +94,44 @@ def shuffle_balance(
     sizes = np.zeros(C, dtype=np.float64)
     np.add.at(sizes, colors, vertex_w)
 
+    rec = as_recorder(recorder)
     resolved = kernels.resolve_backend(backend, default="reference")
-    moves = kernels.shuffle_drain(
-        graph,
-        colors,
-        sizes,
-        g,
-        choice=choice,
-        traversal=traversal,
-        vertex_w=vertex_w,
-        backend=resolved,
-    )
+    strategy = f"{'v' if traversal == 'vertex' else 'c'}{choice}"
+    with rec.phase(f"{strategy}/drain"):
+        moves = kernels.shuffle_drain(
+            graph,
+            colors,
+            sizes,
+            g,
+            choice=choice,
+            traversal=traversal,
+            vertex_w=vertex_w,
+            backend=resolved,
+            recorder=rec,
+        )
 
     suffix = "" if weight == "unit" else "-work"
-    return Coloring(
+    result = Coloring(
         colors,
         C,
-        strategy=f"{'v' if traversal == 'vertex' else 'c'}{choice}{suffix}",
+        strategy=f"{strategy}{suffix}",
         meta={"moves": moves, "gamma": g, "weight": weight,
               "initial_strategy": initial.strategy, "backend": resolved},
     )
+    if rec.enabled:
+        rsd = relative_std_dev(result.class_sizes())
+        rec.event(
+            "balance",
+            strategy=result.strategy,
+            moves=moves,
+            gamma=g,
+            rsd_percent=rsd,
+            initial_strategy=initial.strategy,
+            backend=resolved,
+        )
+        rec.count(f"{result.strategy}.moves", moves)
+        rec.gauge(f"{result.strategy}.rsd_percent", rsd)
+    return result
 
 
 def _pick_target(

@@ -7,7 +7,7 @@ The ``benchmarks/`` tree calls these functions one-to-one; see DESIGN.md §4
 for the experiment index.
 """
 
-from .harness import Table, format_table
+from .harness import Table, format_table, traced_run
 from .tables import table2_inputs, table3_balance, table4_tilera, table5_x86, table6_schemes, table7_community
 from .figures import fig1a_ff_skew, fig1b_modularity, fig2_distributions, fig3ab_speedups, fig3c_uk2002
 from .ablations import (
@@ -24,6 +24,7 @@ from .ablations import (
 __all__ = [
     "Table",
     "format_table",
+    "traced_run",
     "table2_inputs",
     "table3_balance",
     "table4_tilera",

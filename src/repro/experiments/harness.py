@@ -1,13 +1,32 @@
-"""Table container and text formatting for experiment outputs."""
+"""Table container, text formatting, and traced runs for experiments."""
 
 from __future__ import annotations
 
 import csv
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["Table", "format_table"]
+from ..obs import Recorder, recording, write_jsonl
+
+__all__ = ["Table", "format_table", "traced_run"]
+
+
+@contextmanager
+def traced_run(trace_path: str | Path | None = None):
+    """Attach a :class:`repro.obs.Recorder` to everything run in the block.
+
+    Installs a fresh recorder process-wide (every instrumented pipeline
+    picks it up without explicit plumbing) and yields it; on exit the
+    event stream is archived as JSON lines to *trace_path* (if given) —
+    the natural place is next to the experiment's tables/CSV output.
+    """
+    rec = Recorder()
+    with recording(rec):
+        yield rec
+    if trace_path is not None:
+        write_jsonl(rec, trace_path)
 
 
 def _fmt(value) -> str:

@@ -27,12 +27,30 @@ def _open_text(path: str | Path):
     return open(path, "rt")
 
 
+def _significant_lines(fh, start: int):
+    """Yield ``(lineno, stripped_line)`` skipping blanks and ``%`` comments.
+
+    MatrixMarket files in the wild interleave blank lines and comment
+    lines with the size line and the entry body; both are insignificant
+    everywhere below the banner.  Line numbers are 1-based over the whole
+    file so error messages point at the real location.
+    """
+    for lineno, raw in enumerate(fh, start=start):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        yield lineno, line
+
+
 def read_matrix_market(path: str | Path) -> CSRGraph:
     """Read a MatrixMarket coordinate file as an undirected graph.
 
     Values (for ``real``/``integer`` fields) are ignored; only the sparsity
     pattern matters for coloring.  Both ``general`` and ``symmetric``
-    storage are accepted; the result is always symmetrized.
+    storage are accepted; the result is always symmetrized.  Blank lines
+    and ``%`` comments are skipped anywhere after the banner; malformed or
+    missing entries raise :class:`ValueError` naming the file and the
+    1-based line number.
     """
     with _open_text(path) as fh:
         header = fh.readline()
@@ -41,18 +59,47 @@ def read_matrix_market(path: str | Path) -> CSRGraph:
         parts = header.lower().split()
         if "coordinate" not in parts:
             raise ValueError(f"{path}: only coordinate format is supported")
-        line = fh.readline()
-        while line.startswith("%"):
-            line = fh.readline()
-        nrows, ncols, nnz = (int(x) for x in line.split())
+        lines = _significant_lines(fh, start=2)
+        try:
+            lineno, size_line = next(lines)
+        except StopIteration:
+            raise ValueError(f"{path}: missing size line (rows cols nnz)") from None
+        try:
+            nrows, ncols, nnz = (int(x) for x in size_line.split())
+        except ValueError:
+            raise ValueError(
+                f"{path}:{lineno}: expected size line 'rows cols nnz', "
+                f"got {size_line!r}"
+            ) from None
         if nrows != ncols:
             raise ValueError(f"{path}: adjacency matrix must be square")
+        if nnz < 0:
+            raise ValueError(f"{path}:{lineno}: entry count must be >= 0, got {nnz}")
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         for i in range(nnz):
-            fields = fh.readline().split()
-            rows[i] = int(fields[0]) - 1
-            cols[i] = int(fields[1]) - 1
+            try:
+                lineno, entry = next(lines)
+            except StopIteration:
+                raise ValueError(
+                    f"{path}: truncated file: expected {nnz} entries, found "
+                    f"only {i} (last data at line {lineno})"
+                ) from None
+            fields = entry.split()
+            try:
+                r, c = int(fields[0]), int(fields[1])
+            except (ValueError, IndexError):
+                raise ValueError(
+                    f"{path}:{lineno}: expected entry 'row col [value]', "
+                    f"got {entry!r}"
+                ) from None
+            if not (1 <= r <= nrows and 1 <= c <= ncols):
+                raise ValueError(
+                    f"{path}:{lineno}: entry ({r}, {c}) outside the declared "
+                    f"{nrows}x{ncols} matrix"
+                )
+            rows[i] = r - 1
+            cols[i] = c - 1
     return from_edge_arrays(rows, cols, num_vertices=nrows)
 
 
@@ -67,17 +114,31 @@ def write_matrix_market(graph: CSRGraph, path: str | Path) -> None:
 
 
 def read_edge_list(path: str | Path, *, num_vertices: int | None = None) -> CSRGraph:
-    """Read a whitespace-separated edge list (``#`` comments allowed)."""
+    """Read a whitespace-separated edge list (``#`` comments allowed).
+
+    Malformed lines (a single token, non-integer vertex ids) raise
+    :class:`ValueError` naming the file and 1-based line number and
+    quoting the offending line.
+    """
     us: list[int] = []
     vs: list[int] = []
     with _open_text(path) as fh:
-        for line in fh:
-            line = line.strip()
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
             if not line or line.startswith(("#", "%")):
                 continue
-            a, b = line.split()[:2]
-            us.append(int(a))
-            vs.append(int(b))
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected edge 'u v', got {line!r}"
+                )
+            try:
+                us.append(int(fields[0]))
+                vs.append(int(fields[1]))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer vertex id in {line!r}"
+                ) from None
     return from_edge_arrays(
         np.asarray(us, dtype=np.int64),
         np.asarray(vs, dtype=np.int64),

@@ -146,6 +146,7 @@ def shuffle_drain(
     traversal: str,
     vertex_w: np.ndarray,
     backend: str | None = None,
+    recorder=None,
 ) -> int:
     """Drain over-full bins toward γ in place; returns the move count.
 
@@ -155,11 +156,18 @@ def shuffle_drain(
     strictly reduced imbalance; move-for-move traces differ, which is why
     this kernel defaults to ``reference`` (golden reproducibility) unless
     a backend is requested.
+
+    ``recorder`` (optional :class:`repro.obs.Recorder`) receives one
+    ``drain_round`` event per drain round — moves committed, the source
+    bin (``-1`` for the reference vertex traversal's single interleaved
+    pass), and the live RSD of the bin sizes.  Purely observational.
     """
     name = resolve_backend(backend, default="reference")
+    from ..obs import as_recorder
     from . import reference, vectorized
 
     impl = vectorized.shuffle_drain if name == "vectorized" else reference.shuffle_drain
     return impl(
-        graph, colors, sizes, g, choice=choice, traversal=traversal, vertex_w=vertex_w
+        graph, colors, sizes, g, choice=choice, traversal=traversal,
+        vertex_w=vertex_w, recorder=as_recorder(recorder),
     )

@@ -16,8 +16,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import NULL
 
 __all__ = ["ff_sweep", "shuffle_drain", "pick_shuffle_target"]
+
+
+def _drain_round_event(recorder, source: int, moves: int, sizes: np.ndarray) -> None:
+    """Emit one ``drain_round`` event with the live bin-size RSD."""
+    mean = sizes.mean() if sizes.size else 0.0
+    rsd = float(100.0 * sizes.std() / mean) if mean else 0.0
+    recorder.event("drain_round", source_bin=int(source), moves=int(moves),
+                   rsd_percent=rsd)
 
 
 def ff_sweep(graph: CSRGraph, work: np.ndarray, base: np.ndarray) -> np.ndarray:
@@ -77,23 +86,28 @@ def shuffle_drain(
     choice: str,
     traversal: str,
     vertex_w: np.ndarray,
+    recorder=NULL,
 ) -> int:
     """One unscheduled-shuffling pass draining over-full bins toward γ.
 
     Mutates *colors* and *sizes* in place; returns the number of moves.
     ``traversal="color"`` walks one over-full bin at a time in increasing
     color index; ``"vertex"`` interleaves candidates by vertex id.
+    *recorder* gets one ``drain_round`` event per candidate group (per
+    over-full bin for ``color``, one for the whole interleaved pass for
+    ``vertex``); it never alters the drain.
     """
     indptr, indices = graph.indptr, graph.indices
     moves = 0
     overfull = np.nonzero(sizes > g)[0]
     if traversal == "color":
-        candidate_groups = [np.nonzero(colors == j)[0] for j in overfull]
+        candidate_groups = [(int(j), np.nonzero(colors == j)[0]) for j in overfull]
     else:
         mask = np.isin(colors, overfull)
-        candidate_groups = [np.nonzero(mask)[0]]
+        candidate_groups = [(-1, np.nonzero(mask)[0])]
 
-    for group in candidate_groups:
+    for source, group in candidate_groups:
+        group_moves = 0
         for v in group:
             v = int(v)
             j = int(colors[v])
@@ -105,5 +119,8 @@ def shuffle_drain(
                 colors[v] = k
                 sizes[j] -= vertex_w[v]
                 sizes[k] += vertex_w[v]
-                moves += 1
+                group_moves += 1
+        moves += group_moves
+        if recorder.enabled:
+            _drain_round_event(recorder, source, group_moves, sizes)
     return moves

@@ -42,7 +42,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import NULL
 from . import reference
+from .reference import _drain_round_event
 
 __all__ = ["ff_sweep", "shuffle_drain"]
 
@@ -211,10 +213,13 @@ def shuffle_drain(
     choice: str,
     traversal: str,
     vertex_w: np.ndarray,
+    recorder=NULL,
 ) -> int:
     """Round-based vectorized drain of over-full bins; see module docstring.
 
     Mutates *colors* and *sizes* in place; returns committed move count.
+    *recorder* gets one ``drain_round`` event per committed batched round
+    (source bin, moves, live bin-size RSD); it never alters the drain.
     """
     overfull = np.nonzero(sizes > g)[0]
     if overfull.shape[0] == 0:
@@ -229,6 +234,8 @@ def shuffle_drain(
                 moves += committed
                 if committed == 0:
                     break
+                if recorder.enabled:
+                    _drain_round_event(recorder, j, committed, sizes)
     else:  # vertex: interleave the over-full bins, one round each per sweep
         # A bin is retired for good once it stalls or reaches γ.  Like the
         # reference single pass, a retired bin is never re-drained even if a
@@ -242,6 +249,8 @@ def shuffle_drain(
                 committed = _bin_round(graph, colors, sizes, g, pools, j,
                                        choice, vertex_w)
                 moves += committed
+                if committed and recorder.enabled:
+                    _drain_round_event(recorder, j, committed, sizes)
                 if committed and sizes[j] > g:
                     still_active.append(j)
             active = still_active

@@ -1,0 +1,47 @@
+"""Bridge from the tick-machine :class:`ExecutionTrace` to the recorder.
+
+The simulated-parallel schemes already collect rich per-superstep
+instrumentation in :class:`repro.parallel.engine.ExecutionTrace`; this
+module surfaces those traces through the same event API everything else
+uses, so a single JSONL stream carries serial-phase timings *and*
+superstep-level conflict/work records.
+
+Kept free of ``repro.parallel`` imports (the trace is duck-typed) so the
+dependency points engine → obs only.
+"""
+
+from __future__ import annotations
+
+__all__ = ["record_trace"]
+
+
+def record_trace(recorder, trace, *, algorithm: str | None = None) -> None:
+    """Emit one ``superstep`` event per trace record plus a ``trace_summary``.
+
+    *trace* is an :class:`~repro.parallel.engine.ExecutionTrace`.  No-op
+    when the recorder is disabled.  The algorithm label defaults to the
+    trace's own.
+    """
+    if not recorder.enabled:
+        return
+    name = algorithm if algorithm is not None else trace.algorithm
+    for index, ss in enumerate(trace.supersteps):
+        recorder.event(
+            "superstep",
+            algorithm=name,
+            index=index,
+            items=ss.items,
+            conflicts=ss.conflicts,
+            atomic_ops=ss.atomic_ops,
+            shared_reads=ss.shared_reads,
+            distinct_bins=ss.distinct_bins,
+            barriers=ss.barriers,
+            total_work=ss.total_work,
+            max_work=ss.max_work,
+            max_item_work=ss.max_item_work,
+        )
+    summary = trace.summary()
+    recorder.event("trace_summary", **summary)
+    recorder.count(f"{name}.supersteps", trace.num_supersteps)
+    recorder.count(f"{name}.conflicts", trace.total_conflicts)
+    recorder.count(f"{name}.atomics", trace.total_atomics)

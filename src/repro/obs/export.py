@@ -1,0 +1,80 @@
+"""Event-stream export: JSON-lines files and run summaries.
+
+One event per line, in emission order, so streams from long runs can be
+archived, concatenated, and grepped.  Paths ending in ``.gz`` are
+transparently compressed, mirroring :mod:`repro.graph.io`.  NumPy scalars
+and arrays are converted to plain Python values so the files round-trip
+through the standard :mod:`json` module.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .recorder import Recorder
+
+__all__ = ["json_ready", "read_jsonl", "write_jsonl"]
+
+
+def json_ready(value):
+    """Recursively convert NumPy scalars/arrays to plain Python values."""
+    if isinstance(value, dict):
+        return {k: json_ready(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_ready(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def _open_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt")
+    return open(path, "wt")
+
+
+def write_jsonl(source: Recorder | list[dict], path: str | Path) -> int:
+    """Write an event stream as JSON lines; returns the number of lines.
+
+    *source* may be a :class:`~repro.obs.Recorder` (its events are
+    written, followed by one final ``run_summary`` event carrying the
+    counters, gauges, and phase totals) or a plain list of event dicts.
+    """
+    path = Path(path)
+    if isinstance(source, Recorder):
+        events = list(source.events)
+        events.append({"kind": "run_summary", **source.snapshot()})
+    else:
+        events = list(source)
+    with _open_write(path) as fh:
+        for ev in events:
+            fh.write(json.dumps(json_ready(ev), sort_keys=False))
+            fh.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSON-lines event stream back into a list of dicts."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    events: list[dict] = []
+    with opener(path, "rt") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed JSONL line: {exc}") from None
+    return events

@@ -173,6 +173,17 @@ class ExecutionTrace:
             "critical_path": self.critical_path_work,
         }
 
+    def record_to(self, recorder) -> None:
+        """Surface this trace through a :class:`repro.obs.Recorder`.
+
+        Emits one ``superstep`` event per record plus a ``trace_summary``
+        event, so simulated-parallel instrumentation lands in the same
+        stream as the serial phase timers (see :mod:`repro.obs.bridge`).
+        """
+        from ..obs import record_trace
+
+        record_trace(recorder, self)
+
 
 class TickMachine:
     """Batching and accounting helper shared by the parallel algorithms.

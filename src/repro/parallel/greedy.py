@@ -17,6 +17,7 @@ import numpy as np
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..kernels import detect_conflicts
+from ..obs import as_recorder
 from ..util import check_permutation
 from .engine import TickMachine
 
@@ -29,13 +30,18 @@ def parallel_greedy_ff(
     num_threads: int = 1,
     ordering: np.ndarray | None = None,
     max_rounds: int = 200,
+    recorder=None,
 ) -> Coloring:
     """Color *graph* with First-Fit under *num_threads* simulated threads.
 
     With ``num_threads=1`` the result is identical to
     ``greedy_coloring(graph, choice="ff")``.  The returned coloring's
-    ``meta["trace"]`` holds the :class:`ExecutionTrace`.
+    ``meta["trace"]`` holds the :class:`ExecutionTrace`; ``recorder``
+    (optional :class:`repro.obs.Recorder`) gets the same trace as
+    per-``superstep`` events plus a final ``coloring`` event — attaching
+    one never changes the result.
     """
+    rec = as_recorder(recorder)
     n = graph.num_vertices
     machine = TickMachine(num_threads, algorithm="greedy-ff")
     indptr, indices = graph.indptr, graph.indices
@@ -52,35 +58,42 @@ def parallel_greedy_ff(
         work_list = check_permutation("ordering", ordering, n)
 
     rounds = 0
-    while work_list.shape[0]:
-        rounds += 1
-        threads = machine.num_threads if rounds <= max_rounds else 1
-        record = machine.new_superstep()
-        p = threads
-        for t0 in range(0, work_list.shape[0], p):
-            batch = work_list[t0 : t0 + p]
-            pending = np.empty(batch.shape[0], dtype=np.int64)
-            for j, v in enumerate(batch):
-                v = int(v)
-                stamp += 1
-                row = indices[indptr[v] : indptr[v + 1]]
-                nbr_colors = colors[row]
-                nbr_colors = nbr_colors[nbr_colors >= 0]
-                forbidden[nbr_colors] = stamp
-                window = forbidden[: nbr_colors.shape[0] + 1]
-                pending[j] = int(np.argmax(window != stamp))
-                machine.charge(record, j % machine.num_threads, row.shape[0])
-            colors[batch] = pending  # tick boundary: writes commit
+    with rec.phase("greedy-ff-parallel"):
+        while work_list.shape[0]:
+            rounds += 1
+            threads = machine.num_threads if rounds <= max_rounds else 1
+            record = machine.new_superstep()
+            p = threads
+            for t0 in range(0, work_list.shape[0], p):
+                batch = work_list[t0 : t0 + p]
+                pending = np.empty(batch.shape[0], dtype=np.int64)
+                for j, v in enumerate(batch):
+                    v = int(v)
+                    stamp += 1
+                    row = indices[indptr[v] : indptr[v + 1]]
+                    nbr_colors = colors[row]
+                    nbr_colors = nbr_colors[nbr_colors >= 0]
+                    forbidden[nbr_colors] = stamp
+                    window = forbidden[: nbr_colors.shape[0] + 1]
+                    pending[j] = int(np.argmax(window != stamp))
+                    machine.charge(record, j % machine.num_threads, row.shape[0])
+                colors[batch] = pending  # tick boundary: writes commit
 
-        # detection phase: each vertex in the work list rescans its adjacency
-        retry = detect_conflicts(graph, colors, work_list)
-        for j, v in enumerate(work_list):
-            machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
-        record.conflicts = int(retry.shape[0])
-        machine.trace.add(record)
-        work_list = retry
+            # detection phase: each vertex in the work list rescans its adjacency
+            retry = detect_conflicts(graph, colors, work_list)
+            for j, v in enumerate(work_list):
+                machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
+            record.conflicts = int(retry.shape[0])
+            machine.trace.add(record)
+            work_list = retry
 
     num_colors = int(colors.max(initial=-1)) + 1
+    machine.trace.record_to(rec)
+    if rec.enabled:
+        rec.event("coloring", strategy="greedy-ff-parallel",
+                  num_vertices=n, num_colors=num_colors,
+                  threads=machine.num_threads, rounds=rounds,
+                  conflicts=machine.trace.total_conflicts)
     return Coloring(
         colors,
         num_colors,

@@ -26,6 +26,7 @@ import numpy as np
 from .. import kernels
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
 
 __all__ = ["mp_greedy_ff"]
 
@@ -59,6 +60,7 @@ def mp_greedy_ff(
     partition: str = "block",
     seed=None,
     backend: str | None = None,
+    recorder=None,
 ) -> Coloring:
     """Greedy-FF coloring computed by *num_workers* OS processes.
 
@@ -79,6 +81,11 @@ def mp_greedy_ff(
     Returns a proper :class:`Coloring`; ``meta["rounds"]`` records how many
     speculation rounds were needed and ``meta["conflicts"]`` the total
     number of retried vertices.
+
+    ``recorder`` (optional :class:`repro.obs.Recorder`) gets one
+    ``mp_round`` event per speculation round (workers, vertices colored,
+    conflicts) inside a ``greedy-ff-mp`` phase timer; attaching one never
+    changes the result.
     """
     from .partition import bfs_partition, block_partition, random_partition
 
@@ -92,6 +99,7 @@ def mp_greedy_ff(
     if partition not in partitioners:
         raise ValueError(
             f"partition must be one of {sorted(partitioners)}, got {partition!r}")
+    rec = as_recorder(recorder)
     resolved = kernels.resolve_backend(backend)
     n = graph.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
@@ -100,9 +108,14 @@ def mp_greedy_ff(
     total_conflicts = 0
 
     if num_workers == 1:
-        _init_worker(graph.indptr, graph.indices)
-        colors[work_list] = _color_block((work_list, colors, resolved))
+        with rec.phase("greedy-ff-mp"):
+            _init_worker(graph.indptr, graph.indices)
+            colors[work_list] = _color_block((work_list, colors, resolved))
         num_colors = int(colors.max(initial=-1)) + 1
+        if rec.enabled:
+            rec.event("coloring", strategy="greedy-ff-mp", num_vertices=n,
+                      num_colors=num_colors, workers=1, rounds=1, conflicts=0,
+                      backend=resolved)
         return Coloring(colors, num_colors, strategy="greedy-ff-mp",
                         meta={"workers": 1, "rounds": 1, "conflicts": 0,
                               "partition": partition, "backend": resolved})
@@ -118,7 +131,7 @@ def mp_greedy_ff(
     import multiprocessing as mp
 
     ctx = mp.get_context("fork")
-    with ctx.Pool(
+    with rec.phase("greedy-ff-mp"), ctx.Pool(
         processes=num_workers,
         initializer=_init_worker,
         initargs=(graph.indptr, graph.indices),
@@ -130,14 +143,22 @@ def mp_greedy_ff(
             results = pool.map(_color_block, [(b, colors, resolved) for b in blocks])
             for b, res in zip(blocks, results):
                 colors[b] = res
+            attempted = int(work_list.shape[0])
             work_list = kernels.detect_conflicts(graph, colors, work_list)
             total_conflicts += int(work_list.shape[0])
+            if rec.enabled:
+                rec.event("mp_round", index=rounds - 1, workers=num_workers,
+                          attempted=attempted, conflicts=int(work_list.shape[0]))
 
     if work_list.shape[0]:  # residual conflicts: finish sequentially
         _init_worker(graph.indptr, graph.indices)
         colors[work_list] = _color_block((work_list, colors, resolved))
 
     num_colors = int(colors.max(initial=-1)) + 1
+    if rec.enabled:
+        rec.event("coloring", strategy="greedy-ff-mp", num_vertices=n,
+                  num_colors=num_colors, workers=num_workers, rounds=rounds,
+                  conflicts=total_conflicts, backend=resolved)
     return Coloring(
         colors,
         num_colors,

@@ -21,6 +21,7 @@ from ..coloring.recolor import reverse_class_order
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..kernels import detect_conflicts
+from ..obs import as_recorder
 from .engine import TickMachine
 
 __all__ = ["parallel_recoloring"]
@@ -32,12 +33,17 @@ def parallel_recoloring(
     *,
     num_threads: int = 1,
     max_rounds: int = 100,
+    recorder=None,
 ) -> Coloring:
     """Recolor *graph* under capacity γ with simulated threads.
 
     With ``num_threads=1`` the result matches the sequential
-    :func:`repro.coloring.balanced_recoloring`.
+    :func:`repro.coloring.balanced_recoloring`.  ``recorder`` (optional
+    :class:`repro.obs.Recorder`) gets the trace as per-``superstep``
+    events plus a final ``coloring`` event; attaching one never changes
+    the result.
     """
+    rec = as_recorder(recorder)
     n = graph.num_vertices
     if initial.num_vertices != n:
         raise ValueError("coloring does not match graph")
@@ -55,51 +61,58 @@ def parallel_recoloring(
 
     work_list = reverse_class_order(initial)
     rounds = 0
-    while work_list.shape[0]:
-        rounds += 1
-        p = machine.num_threads if rounds <= max_rounds else 1
-        record = machine.new_superstep()
-        for t0 in range(0, work_list.shape[0], p):
-            batch = work_list[t0 : t0 + p]
-            staged = np.empty(batch.shape[0], dtype=np.int64)
-            for j, v in enumerate(batch):
-                v = int(v)
-                machine.charge(record, j % machine.num_threads, graph.degree(v))
-                old = int(colors[v])
-                if old >= 0:  # retry: atomically vacate the tentative bin
-                    bins[old] -= 1
+    with rec.phase("recoloring-parallel"):
+        while work_list.shape[0]:
+            rounds += 1
+            p = machine.num_threads if rounds <= max_rounds else 1
+            record = machine.new_superstep()
+            for t0 in range(0, work_list.shape[0], p):
+                batch = work_list[t0 : t0 + p]
+                staged = np.empty(batch.shape[0], dtype=np.int64)
+                for j, v in enumerate(batch):
+                    v = int(v)
+                    machine.charge(record, j % machine.num_threads, graph.degree(v))
+                    old = int(colors[v])
+                    if old >= 0:  # retry: atomically vacate the tentative bin
+                        bins[old] -= 1
+                        record.atomic_ops += 1
+                    stamp += 1
+                    row = indices[indptr[v] : indptr[v + 1]]
+                    nbr_colors = colors[row]
+                    nbr_colors = nbr_colors[nbr_colors >= 0]
+                    forbidden[nbr_colors] = stamp
+                    # smallest permissible color whose (atomic) bin is below γ
+                    window_len = nbr_colors.shape[0] + 1
+                    while True:
+                        ok = (forbidden[:window_len] != stamp) & (bins[:window_len] < g)
+                        hits = np.nonzero(ok)[0]
+                        if hits.shape[0]:
+                            k = int(hits[0])
+                            break
+                        if window_len >= limit:  # pragma: no cover - bin n never fills
+                            raise RuntimeError("no permissible bin within palette limit")
+                        window_len = min(window_len * 2, limit)
+                    bins[k] += 1
                     record.atomic_ops += 1
-                stamp += 1
-                row = indices[indptr[v] : indptr[v + 1]]
-                nbr_colors = colors[row]
-                nbr_colors = nbr_colors[nbr_colors >= 0]
-                forbidden[nbr_colors] = stamp
-                # smallest permissible color whose (atomic) bin is below γ
-                window_len = nbr_colors.shape[0] + 1
-                while True:
-                    ok = (forbidden[:window_len] != stamp) & (bins[:window_len] < g)
-                    hits = np.nonzero(ok)[0]
-                    if hits.shape[0]:
-                        k = int(hits[0])
-                        break
-                    if window_len >= limit:  # pragma: no cover - bin n never fills
-                        raise RuntimeError("no permissible bin within palette limit")
-                    window_len = min(window_len * 2, limit)
-                bins[k] += 1
-                record.atomic_ops += 1
-                record.shared_reads += k + 1  # bin counters scanned up to k
-                staged[j] = k
-            colors[batch] = staged  # tick boundary: plain writes commit
+                    record.shared_reads += k + 1  # bin counters scanned up to k
+                    staged[j] = k
+                colors[batch] = staged  # tick boundary: plain writes commit
 
-        retry = detect_conflicts(graph, colors, work_list)
-        for j, v in enumerate(work_list):
-            machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
-        record.conflicts = int(retry.shape[0])
-        record.distinct_bins = int(np.count_nonzero(bins))
-        machine.trace.add(record)
-        work_list = retry
+            retry = detect_conflicts(graph, colors, work_list)
+            for j, v in enumerate(work_list):
+                machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
+            record.conflicts = int(retry.shape[0])
+            record.distinct_bins = int(np.count_nonzero(bins))
+            machine.trace.add(record)
+            work_list = retry
 
     num_colors = int(colors.max(initial=-1)) + 1
+    machine.trace.record_to(rec)
+    if rec.enabled:
+        rec.event("coloring", strategy="recoloring-parallel",
+                  num_vertices=n, num_colors=num_colors,
+                  threads=machine.num_threads, rounds=rounds,
+                  conflicts=machine.trace.total_conflicts)
     return Coloring(
         colors,
         num_colors,

@@ -22,6 +22,7 @@ import numpy as np
 from ..coloring.scheduled import plan_moves
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
 from .engine import TickMachine
 
 __all__ = ["parallel_scheduled_balance"]
@@ -34,12 +35,17 @@ def parallel_scheduled_balance(
     reverse: bool = True,
     num_threads: int = 1,
     rounds: int = 1,
+    recorder=None,
 ) -> Coloring:
     """Parallel Sched-Rev (or Sched-Fwd with ``reverse=False``).
 
     With ``num_threads=1`` the result matches the sequential
-    :func:`repro.coloring.scheduled_balance`.
+    :func:`repro.coloring.scheduled_balance`.  ``recorder`` (optional
+    :class:`repro.obs.Recorder`) gets one ``plan_round`` event per
+    planning round plus the trace's per-``superstep`` events; attaching
+    one never changes the result.
     """
+    rec = as_recorder(recorder)
     n = graph.num_vertices
     if initial.num_vertices != n:
         raise ValueError("coloring does not match graph")
@@ -53,54 +59,60 @@ def parallel_scheduled_balance(
     attempted = committed = 0
 
     current = initial
-    for _ in range(rounds):
-        plan = plan_moves(current, reverse=reverse)
-        # serial planning cost: one sweep over bins + the planned moves
-        machine.charge_serial(C + len(plan))
-        if len(plan) == 0:
-            break
-        record = machine.new_superstep()
-        record.barriers = 2  # gather barrier + move barrier
-        # parallel gather: every member of an over-full bin is inspected
-        # (O(1) each) while the surplus sets V'(j) are collected
-        sizes = np.bincount(current.colors, minlength=C)
-        g_target = plan.gamma
-        candidates = int(sizes[sizes > g_target].sum())
-        machine.charge_bulk(record, candidates)
-        planned_target = np.full(n, -1, dtype=np.int64)
-        planned_target[plan.vertices] = plan.targets
+    with rec.phase(name):
+        for round_index in range(rounds):
+            plan = plan_moves(current, reverse=reverse)
+            # serial planning cost: one sweep over bins + the planned moves
+            machine.charge_serial(C + len(plan))
+            if len(plan) == 0:
+                break
+            record = machine.new_superstep()
+            record.barriers = 2  # gather barrier + move barrier
+            # parallel gather: every member of an over-full bin is inspected
+            # (O(1) each) while the surplus sets V'(j) are collected
+            sizes = np.bincount(current.colors, minlength=C)
+            g_target = plan.gamma
+            candidates = int(sizes[sizes > g_target].sum())
+            machine.charge_bulk(record, candidates)
+            planned_target = np.full(n, -1, dtype=np.int64)
+            planned_target[plan.vertices] = plan.targets
 
-        committed_round = 0
-        p = machine.num_threads
-        for t0 in range(0, len(plan), p):
-            bv = plan.vertices[t0 : t0 + p]
-            bk = plan.targets[t0 : t0 + p]
-            in_tick = np.zeros(n, dtype=bool)
-            in_tick[bv] = True
-            commit_v: list[int] = []
-            commit_k: list[int] = []
-            for j in range(bv.shape[0]):
-                v, k = int(bv[j]), int(bk[j])
-                machine.charge(record, j % machine.num_threads, graph.degree(v))
-                row = indices[indptr[v] : indptr[v + 1]]
-                if np.any(colors[row] == k):  # committed neighbor holds k
-                    record.conflicts += 1
-                    continue
-                # same-tick neighbor headed for k: both abort (deterministic)
-                same_tick = in_tick[row]
-                if np.any(planned_target[row[same_tick]] == k):
-                    record.conflicts += 1
-                    continue
-                commit_v.append(v)
-                commit_k.append(k)
-            if commit_v:
-                colors[commit_v] = commit_k  # tick boundary
-                committed_round += len(commit_v)
-        attempted += len(plan)
-        committed += committed_round
-        machine.trace.add(record)
-        current = Coloring(colors.copy(), C, strategy="sched-tmp")
+            committed_round = 0
+            p = machine.num_threads
+            for t0 in range(0, len(plan), p):
+                bv = plan.vertices[t0 : t0 + p]
+                bk = plan.targets[t0 : t0 + p]
+                in_tick = np.zeros(n, dtype=bool)
+                in_tick[bv] = True
+                commit_v: list[int] = []
+                commit_k: list[int] = []
+                for j in range(bv.shape[0]):
+                    v, k = int(bv[j]), int(bk[j])
+                    machine.charge(record, j % machine.num_threads, graph.degree(v))
+                    row = indices[indptr[v] : indptr[v + 1]]
+                    if np.any(colors[row] == k):  # committed neighbor holds k
+                        record.conflicts += 1
+                        continue
+                    # same-tick neighbor headed for k: both abort (deterministic)
+                    same_tick = in_tick[row]
+                    if np.any(planned_target[row[same_tick]] == k):
+                        record.conflicts += 1
+                        continue
+                    commit_v.append(v)
+                    commit_k.append(k)
+                if commit_v:
+                    colors[commit_v] = commit_k  # tick boundary
+                    committed_round += len(commit_v)
+            attempted += len(plan)
+            committed += committed_round
+            machine.trace.add(record)
+            if rec.enabled:
+                rec.event("plan_round", strategy=name, index=round_index,
+                          planned=len(plan), committed=committed_round,
+                          aborted=int(record.conflicts))
+            current = Coloring(colors.copy(), C, strategy="sched-tmp")
 
+    machine.trace.record_to(rec)
     return Coloring(
         colors,
         C,

@@ -23,8 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..coloring.balance import gamma as _gamma
+from ..coloring.balance import relative_std_dev
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
 from .engine import VERTEX_OVERHEAD, TickMachine
 
 __all__ = ["parallel_shuffle_balance"]
@@ -38,11 +40,15 @@ def parallel_shuffle_balance(
     traversal: str = "vertex",
     num_threads: int = 1,
     max_rounds: int = 100,
+    recorder=None,
 ) -> Coloring:
     """Parallel VFF/VLU/CFF/CLU balancing of *initial*.
 
     Returns a proper coloring with the same number of colors; the engine
-    trace is in ``meta["trace"]``.
+    trace is in ``meta["trace"]``.  ``recorder`` (optional
+    :class:`repro.obs.Recorder`) gets the trace as per-``superstep``
+    events plus a final ``balance`` event; attaching one never changes
+    the result.
     """
     if choice not in ("ff", "lu"):
         raise ValueError(f"choice must be 'ff' or 'lu', got {choice!r}")
@@ -56,15 +62,24 @@ def parallel_shuffle_balance(
     machine = TickMachine(num_threads, algorithm=name)
     if C == 0:
         return initial
+    rec = as_recorder(recorder)
     g = _gamma(n, C)
     colors = initial.colors.copy()
     sizes = np.bincount(colors, minlength=C).astype(np.int64)
 
-    if traversal == "color":
-        _color_centric(graph, colors, sizes, g, choice, machine)
-    else:
-        _vertex_centric(graph, colors, sizes, g, choice, machine, max_rounds)
+    with rec.phase(name):
+        if traversal == "color":
+            _color_centric(graph, colors, sizes, g, choice, machine)
+        else:
+            _vertex_centric(graph, colors, sizes, g, choice, machine, max_rounds)
 
+    machine.trace.record_to(rec)
+    if rec.enabled:
+        rec.event("balance", strategy=name, gamma=g,
+                  rsd_percent=relative_std_dev(np.bincount(colors, minlength=C)),
+                  threads=machine.num_threads,
+                  supersteps=machine.trace.num_supersteps,
+                  conflicts=machine.trace.total_conflicts)
     return Coloring(
         colors,
         C,

@@ -33,13 +33,18 @@ def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random
     """Derive *n* statistically independent child generators.
 
     Used to give each simulated thread its own stream so that per-thread
-    randomness does not depend on the number of other threads.
+    randomness does not depend on the number of other threads.  Children
+    are always spawned from a :class:`numpy.random.SeedSequence`: the
+    root generator's own when its bit generator exposes one, otherwise a
+    fresh sequence seeded from the root stream — never by drawing raw
+    child seeds from the root stream, whose streams would be overlapping
+    slices of the same sequence rather than independent.
     """
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     root = as_rng(seed)
-    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if hasattr(
-        root.bit_generator, "seed_seq"
-    ) and root.bit_generator.seed_seq is not None else [
-        np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(n)
-    ]
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if seed_seq is None:
+        entropy = root.integers(0, 2**32, size=8, dtype=np.uint64)
+        seed_seq = np.random.SeedSequence([int(x) for x in entropy])
+    return [np.random.default_rng(s) for s in seed_seq.spawn(n)]

@@ -32,9 +32,10 @@ def test_baseline_artifact_shows_target_speedup():
 @pytest.mark.slow
 def test_quick_bench_runs_and_passes_baseline_check(tmp_path):
     out = tmp_path / "bench_quick.json"
+    trace = tmp_path / "bench_events.jsonl"
     proc = subprocess.run(
         [sys.executable, str(BENCH), "--quick", "--out", str(out),
-         "--check", str(BASELINE)],
+         "--check", str(BASELINE), "--trace", str(trace)],
         capture_output=True,
         text=True,
         timeout=600,
@@ -46,3 +47,11 @@ def test_quick_bench_runs_and_passes_baseline_check(tmp_path):
     assert payload["results"], "quick bench produced no rows"
     kernels_seen = {r["kernel"] for r in payload["results"]}
     assert kernels_seen == {"ff_sweep", "shuffle_vertex", "shuffle_color"}
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import read_jsonl
+
+    events = read_jsonl(trace)
+    assert len([e for e in events if e["kind"] == "bench_row"]) == len(
+        payload["results"]
+    )
+    assert events[-1]["kind"] == "run_summary"

@@ -38,3 +38,15 @@ class TestCli:
         text = report.read_text()
         assert text.startswith("# repro results")
         assert "Table II" in text
+
+    def test_trace_archives_events(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["table3", "--scale", "0.04", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "archived" in out and str(trace) in out
+        events = read_jsonl(trace)
+        assert events[-1]["kind"] == "run_summary"
+        assert any(e["kind"] == "coloring" for e in events)
+        assert any(e["kind"] == "balance" for e in events)

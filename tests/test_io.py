@@ -59,6 +59,99 @@ class TestMatrixMarket:
         with pytest.raises(ValueError, match="square"):
             read_matrix_market(path)
 
+    def test_blank_line_before_size_line(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% comment block\n"
+            "\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 1\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_blanks_and_comments_in_entry_body(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "\n"
+            "2 1\n"
+            "% interior comment\n"
+            "\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 2
+
+    def test_blank_lines_gzipped(self, tmp_path):
+        path = tmp_path / "g.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(
+                "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "\n"
+                "2 2 1\n"
+                "\n"
+                "2 1\n"
+            )
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_truncated_file_names_line(self, tmp_path):
+        path = tmp_path / "trunc.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n"
+            "2 1\n"
+        )
+        with pytest.raises(ValueError, match=r"truncated.*expected 3 entries.*line 3"):
+            read_matrix_market(path)
+
+    def test_truncated_gzipped(self, tmp_path):
+        path = tmp_path / "trunc.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(
+                "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n"
+            )
+        with pytest.raises(ValueError, match="truncated"):
+            read_matrix_market(path)
+
+    def test_malformed_entry_names_line(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "oops\n"
+        )
+        with pytest.raises(ValueError, match=r"bad\.mtx:4.*'oops'"):
+            read_matrix_market(path)
+
+    def test_malformed_size_line_names_line(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\nnot a size\n"
+        )
+        with pytest.raises(ValueError, match=r"bad\.mtx:2.*size line"):
+            read_matrix_market(path)
+
+    def test_missing_size_line(self, tmp_path):
+        path = tmp_path / "empty.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n\n")
+        with pytest.raises(ValueError, match="missing size line"):
+            read_matrix_market(path)
+
+    def test_out_of_range_entry_names_line(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n"
+        )
+        with pytest.raises(ValueError, match=r"bad\.mtx:3.*outside"):
+            read_matrix_market(path)
+
 
 class TestEdgeList:
     def test_roundtrip(self, random_graph, tmp_path):
@@ -78,3 +171,22 @@ class TestEdgeList:
         path.write_text("0 1 3.5\n1 2 0.1\n")
         g = read_edge_list(path)
         assert g.num_edges == 2
+
+    def test_single_token_line_names_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n7\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2.*'7'"):
+            read_edge_list(path)
+
+    def test_non_integer_token_quotes_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 x\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2.*non-integer.*'1 x'"):
+            read_edge_list(path)
+
+    def test_gzipped_malformed_line_names_line(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("# comment\n0 1\nbogus line\n")
+        with pytest.raises(ValueError, match=r"g\.txt\.gz:3"):
+            read_edge_list(path)

@@ -48,6 +48,57 @@ class TestRng:
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
 
+    def test_spawn_rngs_uses_seed_seq_branch(self):
+        # a PCG64-backed generator exposes seed_seq: children must match a
+        # direct SeedSequence spawn (i.e. the fallback is NOT taken)
+        expected = [
+            np.random.default_rng(s).integers(0, 2**31)
+            for s in np.random.SeedSequence(11).spawn(3)
+        ]
+        got = [r.integers(0, 2**31) for r in spawn_rngs(11, 3)]
+        assert got == expected
+
+    def test_spawn_rngs_fallback_branch(self):
+        # a bit generator without seed_seq must still yield deterministic,
+        # pairwise-distinct children derived via a SeedSequence — not
+        # overlapping draws from the root stream
+        def make_root():
+            class NoSeedSeq(np.random.Generator):
+                @property
+                def bit_generator(self):
+                    class Proxy:  # exposes no seed_seq
+                        pass
+
+                    return Proxy()
+
+            return NoSeedSeq(np.random.PCG64(13))
+
+        assert getattr(make_root().bit_generator, "seed_seq", None) is None
+        a = [r.integers(0, 2**31) for r in spawn_rngs(make_root(), 4)]
+        b = [r.integers(0, 2**31) for r in spawn_rngs(make_root(), 4)]
+        assert a == b  # deterministic given the same root state
+        assert len(set(a)) == 4  # overwhelmingly likely distinct
+
+    def test_spawn_rngs_fallback_children_not_root_draws(self):
+        # regression: the old fallback seeded children with integers drawn
+        # from the root stream itself; the first child's stream then
+        # depended on (and could collide with) sibling seeds.  Deriving
+        # via SeedSequence makes child streams independent of n.
+        def make_root(n=13):
+            class NoSeedSeq(np.random.Generator):
+                @property
+                def bit_generator(self):
+                    class Proxy:
+                        pass
+
+                    return Proxy()
+
+            return NoSeedSeq(np.random.PCG64(n))
+
+        few = [r.integers(0, 2**31) for r in spawn_rngs(make_root(), 2)]
+        many = [r.integers(0, 2**31) for r in spawn_rngs(make_root(), 6)]
+        assert few == many[:2]  # per-child stream independent of sibling count
+
 
 class TestTimer:
     def test_context_manager_measures(self):

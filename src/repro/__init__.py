@@ -28,6 +28,11 @@ Subpackages
 ``repro.obs``
     Structured observability: recorders, phase timers, superstep traces,
     and a JSON-lines event exporter threaded through every pipeline.
+``repro.run``
+    Unified execution layer: ``execute(graph, RunConfig(...))`` runs any
+    Table-I strategy in any supported mode (sequential / superstep / mp)
+    through one pipeline — seeding, backend resolution, balance stats,
+    and machine-time pricing included.
 """
 
 from .graph import CSRGraph, load_dataset
@@ -39,6 +44,7 @@ from .coloring import (
     color_and_balance,
     greedy_coloring,
 )
+from .run import RunConfig, RunResult, execute
 
 __version__ = "1.0.0"
 
@@ -50,6 +56,9 @@ __all__ = [
     "balance_coloring",
     "color_and_balance",
     "balance_report",
+    "RunConfig",
+    "RunResult",
+    "execute",
     "kernels",
     "obs",
     "__version__",

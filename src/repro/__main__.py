@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any table, figure, or ablation.
+"""Command-line interface: regenerate any artifact, or run one strategy.
 
 Examples::
 
@@ -7,6 +7,8 @@ Examples::
     python -m repro fig1b --csv out/
     python -m repro all --scale 0.1
     python -m repro table3 --trace table3.jsonl   # archive the event stream
+    python -m repro run --strategy vff --mode superstep --threads 8 \
+        --machine tilegx36 --trace out.jsonl      # one (strategy, mode) run
 """
 
 from __future__ import annotations
@@ -68,14 +70,20 @@ _EXPERIMENTS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and docs)."""
+    from .coloring.strategies import MODES, STRATEGIES
+    from .graph.datasets import DATASETS
+    from .machine import MACHINES
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the tables and figures of Lu et al., IPDPS 2015.",
+        description="Regenerate the tables and figures of Lu et al., IPDPS "
+        "2015, or run a single (strategy, mode) pipeline with 'run'.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which artifact to regenerate ('list' prints the catalog)",
+        choices=sorted(_EXPERIMENTS) + ["all", "list", "run"],
+        help="which artifact to regenerate ('list' prints the catalog; "
+        "'run' executes one strategy through repro.run.execute)",
     )
     parser.add_argument("--scale", type=float, default=0.25,
                         help="input stand-in scale (default 0.25)")
@@ -88,16 +96,80 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record structured run events (phase timers, "
                         "per-round/superstep metrics) and archive them as "
                         "JSON lines to FILE (.gz compresses)")
+
+    run = parser.add_argument_group("run options (python -m repro run)")
+    run.add_argument("--strategy", choices=sorted(STRATEGIES), default=None,
+                     help="Table-I strategy from the registry (required for 'run')")
+    run.add_argument("--mode", choices=list(MODES), default="sequential",
+                     help="execution mode (default sequential)")
+    run.add_argument("--threads", type=int, default=1,
+                     help="simulated threads (superstep) or workers (mp)")
+    run.add_argument("--input", choices=sorted(DATASETS), default="cnr",
+                     help="input stand-in graph (default cnr)")
+    run.add_argument("--machine", choices=sorted(MACHINES), default=None,
+                     help="price the execution trace on this machine model")
+    run.add_argument("--backend", choices=["reference", "vectorized"], default=None,
+                     help="kernel backend for the kernel-backed sweeps")
+    run.add_argument("--ordering", default="natural",
+                     help="vertex order for the (initial) greedy coloring")
+    run.add_argument("--rounds", type=int, default=1,
+                     help="re-plan rounds for the scheduled strategies")
+    run.add_argument("--weight", choices=["unit", "degree"], default="unit",
+                     help="balance objective for sequential shuffling")
     return parser
+
+
+def _list_catalog() -> None:
+    """Print the experiment catalog and the (strategy × mode) registry."""
+    from .coloring.strategies import STRATEGIES
+
+    for name in sorted(_EXPERIMENTS):
+        print(name)
+    print()
+    print("strategies (python -m repro run --strategy NAME --mode MODE):")
+    for name, spec in STRATEGIES.items():
+        print(f"  {name:<14} modes: {', '.join(spec.modes):<28} "
+              f"{spec.description}")
+
+
+def _run_command(args, parser: argparse.ArgumentParser) -> int:
+    """Execute one (strategy, mode) pipeline and print its summary."""
+    from .experiments import traced_run
+    from .graph.datasets import load_dataset
+    from .run import RunConfig, execute
+
+    if args.strategy is None:
+        parser.error("'run' requires --strategy (see 'python -m repro list')")
+    try:
+        config = RunConfig(
+            strategy=args.strategy, mode=args.mode, threads=args.threads,
+            machine=args.machine, backend=args.backend, ordering=args.ordering,
+            seed=args.seed, rounds=args.rounds, weight=args.weight,
+        )
+        graph = load_dataset(args.input, scale=args.scale, seed=args.seed)
+        tracer = traced_run(args.trace) if args.trace is not None else nullcontext(None)
+        with tracer as recorder:
+            result = execute(graph, config, recorder=recorder)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.input} (scale={args.scale}, seed={args.seed}):")
+    print(result.summary())
+    if recorder is not None:
+        print(recorder.summary())
+        print(f"archived {len(recorder.events)} events to {args.trace}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.experiment == "list":
-        for name in sorted(_EXPERIMENTS):
-            print(name)
+        _list_catalog()
         return 0
+    if args.experiment == "run":
+        return _run_command(args, parser)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     report_chunks: list[str] = []
     from .experiments import traced_run

@@ -1,9 +1,27 @@
 """Strategy registry: one name per row of the paper's Table I.
 
+Each :class:`StrategySpec` declares its implementation per *execution
+mode* — ``sequential`` (the reference algorithms in this package),
+``superstep`` (the tick-machine speculation schemes in
+:mod:`repro.parallel`), and ``mp`` (the real ``multiprocessing`` backend)
+— so the registry, not the call sites, is the single source of truth for
+which (strategy, mode) pairs exist and how they are invoked.
+
+Every mode implementation has the same normalized signature::
+
+    impl(graph, initial=None, *, threads=1, seed=None, recorder=None, **kwargs)
+
+and carries an ``accepts`` frozenset naming the extra keyword options it
+understands (``backend``, ``rounds``, ``weight``, ...).  Unknown options
+are rejected up front with an error naming the strategy, instead of
+surfacing as a ``TypeError`` from some inner function.
+
 :func:`balance_coloring` dispatches a guided strategy on an existing
 initial coloring; :func:`color_and_balance` is the one-call front door that
 also produces the initial coloring (Greedy-FF by default, as in the paper)
-or runs an ab initio strategy directly.
+or runs an ab initio strategy directly.  The full pipeline front door —
+mode dispatch, seeding, backend resolution, balance stats, machine-time
+pricing — is :func:`repro.run.execute`.
 """
 
 from __future__ import annotations
@@ -12,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..graph.csr import CSRGraph
+from ..util.rng import spawn_rngs
 from .greedy import greedy_coloring
 from .kempe import kempe_balance
 from .recolor import balanced_recoloring
@@ -19,17 +38,33 @@ from .scheduled import scheduled_balance
 from .shuffled import shuffle_balance
 from .types import Coloring
 
-__all__ = ["StrategySpec", "STRATEGIES", "balance_coloring", "color_and_balance"]
+__all__ = [
+    "MODES",
+    "StrategySpec",
+    "STRATEGIES",
+    "balance_coloring",
+    "color_and_balance",
+    "split_seed",
+]
+
+#: the three execution regimes the paper compares (sequential reference,
+#: speculate-and-iterate supersteps, real multiprocessing)
+MODES = ("sequential", "superstep", "mp")
 
 
 @dataclass(frozen=True)
 class StrategySpec:
-    """One balancing strategy: its category and callable.
+    """One balancing strategy: its category and per-mode implementations.
 
     ``category`` is ``"ab_initio"`` (runs on the graph alone) or
     ``"guided"`` (consumes an initial coloring).  ``same_color_count`` marks
     the strategies guaranteed to preserve the initial C (VFF/VLU/CFF/CLU,
     Sched-Rev/Fwd) versus those that may change it (Recoloring, ab initio).
+
+    ``sequential``/``superstep``/``mp`` hold the normalized mode
+    implementations (``None`` = unsupported in that mode); ``run`` is kept
+    as a legacy alias of the sequential implementation so pre-existing
+    callers keep working unchanged.
     """
 
     name: str
@@ -37,77 +72,257 @@ class StrategySpec:
     same_color_count: bool
     description: str
     run: Callable[..., Coloring]
+    sequential: Callable[..., Coloring] | None = None
+    superstep: Callable[..., Coloring] | None = None
+    mp: Callable[..., Coloring] | None = None
+
+    @property
+    def modes(self) -> tuple[str, ...]:
+        """The execution modes this strategy supports, in MODES order."""
+        return tuple(m for m in MODES if getattr(self, m) is not None)
+
+    def implementation(self, mode: str) -> Callable[..., Coloring]:
+        """The normalized callable for *mode*, or a helpful ValueError."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {list(MODES)}")
+        impl = getattr(self, mode)
+        if impl is None:
+            raise ValueError(
+                f"strategy {self.name!r} does not support mode {mode!r}; "
+                f"supported modes: {list(self.modes)}"
+            )
+        return impl
 
 
-def _ab_initio(choice: str):
-    def run(graph: CSRGraph, initial: Coloring | None = None, *, seed=None) -> Coloring:
-        return greedy_coloring(graph, choice=choice, seed=seed)
+def split_seed(seed):
+    """Derive independent (initial-coloring, strategy) seeds from one root.
+
+    The initial Greedy-FF and the guided strategy must not share an RNG
+    stream (identical draws would correlate, e.g., a random vertex order
+    with the strategy's own randomness), so the root seed is split into
+    two :class:`~numpy.random.SeedSequence` children via
+    :func:`repro.util.spawn_rngs`.  ``None`` stays ``None`` for both
+    (fresh OS entropy is already independent).
+    """
+    if seed is None:
+        return None, None
+    init_rng, strategy_rng = spawn_rngs(seed, 2)
+    return init_rng, strategy_rng
+
+
+def _accepts(*names: str):
+    """Tag a mode implementation with the extra kwargs it understands."""
+
+    def tag(fn):
+        fn.accepts = frozenset(names)
+        return fn
+
+    return tag
+
+
+def _check_kwargs(strategy: str, mode: str, impl, kwargs: dict) -> None:
+    """Reject options the (strategy, mode) implementation does not take."""
+    accepted = getattr(impl, "accepts", frozenset())
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise ValueError(
+            f"strategy {strategy!r} ({mode} mode) got unknown option(s) "
+            f"{unknown}; accepted options: {sorted(accepted) or 'none'}"
+        )
+
+
+# --------------------------------------------------------------------------
+# sequential implementations (repro.coloring reference algorithms)
+# --------------------------------------------------------------------------
+
+
+def _seq_greedy(choice: str, accepts: tuple[str, ...]):
+    @_accepts(*accepts)
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        return greedy_coloring(graph, choice=choice, seed=seed,
+                               recorder=recorder, **kwargs)
 
     return run
 
 
-def _shuffled(choice: str, traversal: str):
-    def run(graph: CSRGraph, initial: Coloring, *, seed=None) -> Coloring:
-        return shuffle_balance(graph, initial, choice=choice, traversal=traversal)
+def _seq_shuffled(choice: str, traversal: str):
+    @_accepts("weight", "backend")
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        return shuffle_balance(graph, initial, choice=choice,
+                               traversal=traversal, recorder=recorder, **kwargs)
 
     return run
 
 
-def _scheduled(reverse: bool):
-    def run(graph: CSRGraph, initial: Coloring, *, seed=None, rounds: int = 1) -> Coloring:
-        return scheduled_balance(graph, initial, reverse=reverse, rounds=rounds)
+def _seq_scheduled(reverse: bool):
+    @_accepts("rounds")
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        return scheduled_balance(graph, initial, reverse=reverse, **kwargs)
 
     return run
 
 
-def _recoloring(graph: CSRGraph, initial: Coloring, *, seed=None) -> Coloring:
-    return balanced_recoloring(graph, initial)
+@_accepts("backend")
+def _seq_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
+                    threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+    # deterministic algorithm: `seed` is accepted for API uniformity only
+    return balanced_recoloring(graph, initial, recorder=recorder, **kwargs)
 
 
-def _kempe(graph: CSRGraph, initial: Coloring, *, seed=None, **kwargs) -> Coloring:
+@_accepts("max_passes")
+def _seq_kempe(graph: CSRGraph, initial: Coloring | None = None, *,
+               threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
     return kempe_balance(graph, initial, seed=seed, **kwargs)
 
 
+# --------------------------------------------------------------------------
+# superstep implementations (repro.parallel tick-machine schemes)
+#
+# Imported inside the callables: repro.parallel itself imports sibling
+# repro.coloring modules, so a top-level import here would be circular.
+# --------------------------------------------------------------------------
+
+
+@_accepts("ordering", "max_rounds")
+def _superstep_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
+                         threads: int = 1, seed=None, recorder=None,
+                         **kwargs) -> Coloring:
+    from ..graph.orderings import vertex_order
+    from ..parallel.greedy import parallel_greedy_ff
+
+    ordering = kwargs.pop("ordering", None)
+    if isinstance(ordering, str):
+        ordering = None if ordering == "natural" else vertex_order(
+            graph, ordering, seed=seed)
+    return parallel_greedy_ff(graph, num_threads=threads, ordering=ordering,
+                              recorder=recorder, **kwargs)
+
+
+def _superstep_shuffled(choice: str, traversal: str):
+    @_accepts("max_rounds")
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        from ..parallel.shuffled import parallel_shuffle_balance
+
+        return parallel_shuffle_balance(graph, initial, choice=choice,
+                                        traversal=traversal, num_threads=threads,
+                                        recorder=recorder, **kwargs)
+
+    return run
+
+
+def _superstep_scheduled(reverse: bool):
+    @_accepts("rounds")
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        from ..parallel.scheduled import parallel_scheduled_balance
+
+        return parallel_scheduled_balance(graph, initial, reverse=reverse,
+                                          num_threads=threads, recorder=recorder,
+                                          **kwargs)
+
+    return run
+
+
+@_accepts("max_rounds")
+def _superstep_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
+                          threads: int = 1, seed=None, recorder=None,
+                          **kwargs) -> Coloring:
+    from ..parallel.recolor import parallel_recoloring
+
+    return parallel_recoloring(graph, initial, num_threads=threads,
+                               recorder=recorder, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# mp implementations (real multiprocessing)
+# --------------------------------------------------------------------------
+
+
+@_accepts("max_rounds", "partition", "backend")
+def _mp_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
+                  threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+    from ..parallel.mp import mp_greedy_ff
+
+    return mp_greedy_ff(graph, num_workers=threads, seed=seed,
+                        recorder=recorder, **kwargs)
+
+
+def _spec(name: str, category: str, same_color_count: bool, description: str, *,
+          sequential: Callable[..., Coloring],
+          superstep: Callable[..., Coloring] | None = None,
+          mp: Callable[..., Coloring] | None = None) -> StrategySpec:
+    return StrategySpec(name, category, same_color_count, description,
+                        sequential, sequential, superstep, mp)
+
+
 STRATEGIES: dict[str, StrategySpec] = {
-    "greedy-lu": StrategySpec(
+    "greedy-ff": _spec(
+        "greedy-ff", "ab_initio", False,
+        "Algorithm 1 with First-Fit color choice (the paper's initial coloring)",
+        sequential=_seq_greedy("ff", ("ordering", "backend")),
+        superstep=_superstep_greedy_ff,
+        mp=_mp_greedy_ff,
+    ),
+    "greedy-lu": _spec(
         "greedy-lu", "ab_initio", False,
-        "Algorithm 1 with Least-Used color choice", _ab_initio("lu"),
+        "Algorithm 1 with Least-Used color choice",
+        sequential=_seq_greedy("lu", ("ordering",)),
     ),
-    "greedy-random": StrategySpec(
+    "greedy-random": _spec(
         "greedy-random", "ab_initio", False,
-        "Algorithm 1 with Random color choice in palette B = Δ+1", _ab_initio("random"),
+        "Algorithm 1 with Random color choice in palette B = Δ+1",
+        sequential=_seq_greedy("random", ("ordering", "palette_bound")),
     ),
-    "vff": StrategySpec(
+    "vff": _spec(
         "vff", "guided", True,
-        "Vertex-centric First-Fit unscheduled shuffling", _shuffled("ff", "vertex"),
+        "Vertex-centric First-Fit unscheduled shuffling",
+        sequential=_seq_shuffled("ff", "vertex"),
+        superstep=_superstep_shuffled("ff", "vertex"),
     ),
-    "vlu": StrategySpec(
+    "vlu": _spec(
         "vlu", "guided", True,
-        "Vertex-centric Least-Used unscheduled shuffling", _shuffled("lu", "vertex"),
+        "Vertex-centric Least-Used unscheduled shuffling",
+        sequential=_seq_shuffled("lu", "vertex"),
+        superstep=_superstep_shuffled("lu", "vertex"),
     ),
-    "cff": StrategySpec(
+    "cff": _spec(
         "cff", "guided", True,
-        "Color-centric First-Fit unscheduled shuffling", _shuffled("ff", "color"),
+        "Color-centric First-Fit unscheduled shuffling",
+        sequential=_seq_shuffled("ff", "color"),
+        superstep=_superstep_shuffled("ff", "color"),
     ),
-    "clu": StrategySpec(
+    "clu": _spec(
         "clu", "guided", True,
-        "Color-centric Least-Used unscheduled shuffling", _shuffled("lu", "color"),
+        "Color-centric Least-Used unscheduled shuffling",
+        sequential=_seq_shuffled("lu", "color"),
+        superstep=_superstep_shuffled("lu", "color"),
     ),
-    "sched-rev": StrategySpec(
+    "sched-rev": _spec(
         "sched-rev", "guided", True,
-        "Scheduled moves, under-full bins filled in reverse color order", _scheduled(True),
+        "Scheduled moves, under-full bins filled in reverse color order",
+        sequential=_seq_scheduled(True),
+        superstep=_superstep_scheduled(True),
     ),
-    "sched-fwd": StrategySpec(
+    "sched-fwd": _spec(
         "sched-fwd", "guided", True,
-        "Scheduled moves, forward fill order (ablation)", _scheduled(False),
+        "Scheduled moves, forward fill order (ablation)",
+        sequential=_seq_scheduled(False),
+        superstep=_superstep_scheduled(False),
     ),
-    "recoloring": StrategySpec(
+    "recoloring": _spec(
         "recoloring", "guided", False,
-        "Reverse-class FF recoloring under capacity γ", _recoloring,
+        "Reverse-class FF recoloring under capacity γ",
+        sequential=_seq_recoloring,
+        superstep=_superstep_recoloring,
     ),
-    "kempe": StrategySpec(
+    "kempe": _spec(
         "kempe", "guided", True,
-        "Kempe-chain exchange rebalancing (extension)", _kempe,
+        "Kempe-chain exchange rebalancing (extension)",
+        sequential=_seq_kempe,
     ),
 }
 
@@ -121,7 +336,8 @@ def balance_coloring(
         raise ValueError(
             f"{strategy!r} is ab initio; call color_and_balance or greedy_coloring"
         )
-    return spec.run(graph, initial, seed=seed, **kwargs)
+    _check_kwargs(strategy, "sequential", spec.sequential, kwargs)
+    return spec.sequential(graph, initial, seed=seed, **kwargs)
 
 
 def color_and_balance(
@@ -132,16 +348,24 @@ def color_and_balance(
     ordering: str = "natural",
     **kwargs,
 ) -> Coloring:
-    """Run any Table-I strategy end to end.
+    """Run any Table-I strategy end to end (sequential mode).
 
     Guided strategies get a Greedy-FF initial coloring first (the paper's
     default pipeline); ab initio strategies run directly on the graph.
+    The initial coloring and the strategy draw from *independent* child
+    seeds derived from ``seed`` (see :func:`split_seed`), so their random
+    streams never correlate.
     """
     spec = _lookup(strategy)
     if spec.category == "ab_initio":
-        return spec.run(graph, seed=seed, **kwargs)
-    initial = greedy_coloring(graph, choice="ff", ordering=ordering, seed=seed)
-    return spec.run(graph, initial, seed=seed, **kwargs)
+        if "ordering" in spec.sequential.accepts:
+            kwargs.setdefault("ordering", ordering)
+        _check_kwargs(strategy, "sequential", spec.sequential, kwargs)
+        return spec.sequential(graph, seed=seed, **kwargs)
+    _check_kwargs(strategy, "sequential", spec.sequential, kwargs)
+    init_seed, strategy_seed = split_seed(seed)
+    initial = greedy_coloring(graph, choice="ff", ordering=ordering, seed=init_seed)
+    return spec.sequential(graph, initial, seed=strategy_seed, **kwargs)
 
 
 def _lookup(strategy: str) -> StrategySpec:

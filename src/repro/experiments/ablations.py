@@ -12,8 +12,7 @@ from ..coloring.balance import balance_report
 from ..coloring.greedy import greedy_coloring
 from ..coloring.recolor import iterated_greedy
 from ..graph.datasets import load_dataset
-from ..parallel.scheduled import parallel_scheduled_balance
-from ..parallel.shuffled import parallel_shuffle_balance
+from ..run import RunConfig, execute
 from .harness import Table
 
 __all__ = [
@@ -45,8 +44,10 @@ def ablation_sched_fill_order(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        rev = parallel_scheduled_balance(g, init, reverse=True, num_threads=num_threads)
-        fwd = parallel_scheduled_balance(g, init, reverse=False, num_threads=num_threads)
+        rev = execute(g, RunConfig("sched-rev", mode="superstep",
+                                   threads=num_threads), initial=init).coloring
+        fwd = execute(g, RunConfig("sched-fwd", mode="superstep",
+                                   threads=num_threads), initial=init).coloring
         t.add(
             name,
             round(balance_report(rev).rsd_percent, 2),
@@ -78,7 +79,7 @@ def ablation_orderings(
     cases.append((f"er(n={n_er},p=0.05)", erdos_renyi_graph(n_er, 0.05, seed=seed)))
     for name, g in cases:
         per = {
-            o: greedy_coloring(g, ordering=o, seed=seed)
+            o: execute(g, RunConfig("greedy-ff", ordering=o, seed=seed)).coloring
             for o in ("natural", "random", "largest_first", "smallest_last")
         }
         t.add(
@@ -114,7 +115,8 @@ def ablation_iterated_greedy(
     cases.append((f"er(n={n_er},p=0.02)", erdos_renyi_graph(n_er, 0.02, seed=seed)))
     cases.append((f"er(n={n_er},p=0.05)", erdos_renyi_graph(n_er, 0.05, seed=seed)))
     for name, g in cases:
-        initial = greedy_coloring(g, ordering="random", seed=seed)
+        initial = execute(g, RunConfig("greedy-ff", ordering="random",
+                                       seed=seed)).coloring
         current = initial
         counts = []
         for _ in range(iterations):
@@ -141,9 +143,9 @@ def ablation_conflicts_vs_threads(
         ["threads", "conflicts", "supersteps", "rsd%"],
     )
     for p in thread_counts:
-        c = parallel_shuffle_balance(g, init, num_threads=p)
-        t.add(p, c.meta["conflicts"], c.meta["supersteps"],
-              round(balance_report(c).rsd_percent, 2))
+        r = execute(g, RunConfig("vff", mode="superstep", threads=p), initial=init)
+        t.add(p, r.coloring.meta["conflicts"], r.coloring.meta["supersteps"],
+              round(r.balance.rsd_percent, 2))
     return t
 
 
@@ -157,9 +159,6 @@ def ablation_kempe(
     the color count, but the paper's VFF/CLU — free to relocate vertices to
     any permissible bin — get closer to perfect balance.
     """
-    from ..coloring.kempe import kempe_balance
-    from ..coloring.shuffled import shuffle_balance
-
     t = Table(
         "Ablation — Kempe-chain rebalancing vs guided shuffling",
         ["input", "ff_rsd%", "kempe_rsd%", "kempe_swaps", "vff_rsd%", "clu_rsd%"],
@@ -167,9 +166,9 @@ def ablation_kempe(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        kem = kempe_balance(g, init)
-        vff = shuffle_balance(g, init)
-        clu = shuffle_balance(g, init, choice="lu", traversal="color")
+        kem = execute(g, RunConfig("kempe"), initial=init).coloring
+        vff = execute(g, RunConfig("vff"), initial=init).coloring
+        clu = execute(g, RunConfig("clu"), initial=init).coloring
         t.add(
             name,
             round(balance_report(init).rsd_percent, 1),
@@ -216,7 +215,6 @@ def ablation_color_all_phases(
     from ..community.parallel import parallel_louvain
     from ..machine.model import estimate_time
     from ..machine.tilera import tilegx36
-    from ..parallel.shuffled import parallel_shuffle_balance
 
     machine = tilegx36()
     t = Table(
@@ -227,7 +225,8 @@ def ablation_color_all_phases(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        bal = parallel_shuffle_balance(g, init, num_threads=num_threads)
+        bal = execute(g, RunConfig("vff", mode="superstep",
+                                   threads=num_threads), initial=init).coloring
         one = parallel_louvain(g, num_threads=num_threads, coloring=bal,
                                max_iterations=max_iterations)
         allp = parallel_louvain(g, num_threads=num_threads, coloring=bal,
@@ -258,7 +257,6 @@ def ablation_work_balance(
     """
     import numpy as np
 
-    from ..coloring.shuffled import shuffle_balance
     from ..machine.model import estimate_time
     from ..machine.tilera import tilegx36
     from ..solver.multicolor import sweep_trace
@@ -273,8 +271,8 @@ def ablation_work_balance(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        count_bal = shuffle_balance(g, init)
-        work_bal = shuffle_balance(g, init, weight="degree")
+        count_bal = execute(g, RunConfig("vff"), initial=init).coloring
+        work_bal = execute(g, RunConfig("vff", weight="degree"), initial=init).coloring
 
         def work_rsd(coloring):
             w = np.zeros(coloring.num_colors, dtype=float)

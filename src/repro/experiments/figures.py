@@ -10,17 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..coloring.greedy import greedy_coloring
-from ..coloring.recolor import balanced_recoloring
-from ..coloring.scheduled import scheduled_balance
-from ..coloring.shuffled import shuffle_balance
 from ..community.louvain import louvain_phase
 from ..community.parallel import parallel_louvain_phase
 from ..community.wgraph import WeightedGraph
 from ..graph.datasets import load_dataset
-from ..machine.timing import speedups, thread_sweep
 from ..machine.tilera import tilegx36
 from ..machine.x86 import xeon_x7560
-from ..parallel.shuffled import parallel_shuffle_balance
+from ..run import RunConfig, execute
 from .harness import Table
 from .tables import PERF_INPUTS, TILERA_THREADS, X86_THREADS
 
@@ -68,7 +64,8 @@ def fig1b_modularity(
     g = load_dataset("cnr", scale=scale, seed=seed)
     wg = WeightedGraph.from_csr(g)
     init = greedy_coloring(g)
-    bal = parallel_shuffle_balance(g, init, num_threads=num_threads)
+    bal = execute(g, RunConfig("vff", mode="superstep", threads=num_threads),
+                  initial=init).coloring
 
     _, serial_hist = louvain_phase(wg, max_iterations=max_iterations)
     _, nocol_hist, _ = parallel_louvain_phase(
@@ -104,15 +101,20 @@ def fig2_distributions(
     """
     g = load_dataset(input_name, scale=scale, seed=seed)
     init = greedy_coloring(g)
+
+    def seq(strategy: str):
+        return execute(g, RunConfig(strategy), initial=init).coloring
+
     schemes = {
         "greedy-ff": init,
-        "vff": shuffle_balance(g, init, choice="ff", traversal="vertex"),
-        "clu": shuffle_balance(g, init, choice="lu", traversal="color"),
-        "sched-rev": scheduled_balance(g, init),
-        "recoloring": balanced_recoloring(g, init),
-        "greedy-lu": greedy_coloring(g, choice="lu"),
-        "greedy-random": greedy_coloring(g, choice="random", seed=seed,
-                                         palette_bound=init.num_colors),
+        "vff": seq("vff"),
+        "clu": seq("clu"),
+        "sched-rev": seq("sched-rev"),
+        "recoloring": seq("recoloring"),
+        "greedy-lu": execute(g, RunConfig("greedy-lu")).coloring,
+        "greedy-random": execute(g, RunConfig(
+            "greedy-random", seed=seed,
+            strategy_kwargs={"palette_bound": init.num_colors})).coloring,
     }
     width = max(c.num_colors for c in schemes.values())
     t = Table(
@@ -145,13 +147,20 @@ def fig3ab_speedups(
                  ["threads"] + list(inputs))
     til_series: dict[str, list[float]] = {}
     x86_series: dict[str, list[float]] = {}
+
+    def vff_speedups(g, init, machine, thread_counts):
+        times = [
+            execute(g, RunConfig("vff", mode="superstep", threads=p,
+                                 machine=machine), initial=init).machine_time.total_s
+            for p in thread_counts
+        ]
+        return [times[0] / t for t in times]  # baseline: smallest thread count
+
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        til_series[name] = speedups(
-            thread_sweep(g, init, parallel_shuffle_balance, tilegx36(), TILERA_THREADS))
-        x86_series[name] = speedups(
-            thread_sweep(g, init, parallel_shuffle_balance, xeon_x7560(), X86_THREADS))
+        til_series[name] = vff_speedups(g, init, tilegx36(), TILERA_THREADS)
+        x86_series[name] = vff_speedups(g, init, xeon_x7560(), X86_THREADS)
     for i, p in enumerate(TILERA_THREADS):
         til.add(p, *[round(til_series[name][i], 2) for name in inputs])
     for i, p in enumerate(X86_THREADS):
@@ -170,7 +179,8 @@ def fig3c_uk2002(
     g = load_dataset("uk2002", scale=scale, seed=seed)
     wg = WeightedGraph.from_csr(g)
     init = greedy_coloring(g)
-    bal = parallel_shuffle_balance(g, init, num_threads=num_threads)
+    bal = execute(g, RunConfig("vff", mode="superstep", threads=num_threads),
+                  initial=init).coloring
 
     _, serial_hist = louvain_phase(wg, max_iterations=max_iterations)
     _, skew_hist, _ = parallel_louvain_phase(

@@ -13,12 +13,9 @@ from ..coloring.greedy import greedy_coloring
 from ..graph.datasets import DATASETS, load_dataset
 from ..graph.properties import graph_stats
 from ..machine.model import MachineModel
-from ..machine.timing import scheme_comparison, thread_sweep
 from ..machine.tilera import tilegx36
 from ..machine.x86 import xeon_x7560
-from ..parallel.recolor import parallel_recoloring
-from ..parallel.scheduled import parallel_scheduled_balance
-from ..parallel.shuffled import parallel_shuffle_balance
+from ..run import RunConfig, execute
 from ..community.pipeline import run_pipeline
 from .harness import Table
 
@@ -84,15 +81,18 @@ def table3_balance(
                 return f"{r.rsd_percent:.2f}%"
             return f"{r.rsd_percent:.2f}% ({coloring.num_colors})"
 
-        vff = parallel_shuffle_balance(g, init, choice="ff", traversal="vertex",
-                                       num_threads=num_threads)
-        clu = parallel_shuffle_balance(g, init, choice="lu", traversal="color",
-                                       num_threads=num_threads)
-        sched = parallel_scheduled_balance(g, init, num_threads=num_threads)
-        rec = parallel_recoloring(g, init, num_threads=num_threads)
-        lu = greedy_coloring(g, choice="lu")
-        rnd = greedy_coloring(g, choice="random", seed=seed,
-                              palette_bound=init.num_colors)
+        def superstep(strategy: str):
+            cfg = RunConfig(strategy, mode="superstep", threads=num_threads)
+            return execute(g, cfg, initial=init).coloring
+
+        vff = superstep("vff")
+        clu = superstep("clu")
+        sched = superstep("sched-rev")
+        rec = superstep("recoloring")
+        lu = execute(g, RunConfig("greedy-lu")).coloring
+        rnd = execute(g, RunConfig(
+            "greedy-random", seed=seed,
+            strategy_kwargs={"palette_bound": init.num_colors})).coloring
         t.add(
             name,
             f"{balance_report(init).rsd_percent:.2f}% ({init.num_colors})",
@@ -116,8 +116,12 @@ def _runtime_table(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        sweep = thread_sweep(g, init, parallel_shuffle_balance, machine, thread_counts)
-        t.add(name, *[round(s * 1e3, 3) for s in sweep.times_s])
+        times_s = [
+            execute(g, RunConfig("vff", mode="superstep", threads=p,
+                                 machine=machine), initial=init).machine_time.total_s
+            for p in thread_counts
+        ]
+        t.add(name, *[round(s * 1e3, 3) for s in times_s])
     t.note("model milliseconds (inputs are scaled down; the paper reports "
            "seconds on the full graphs) — compare ratios, not magnitudes")
     return t
@@ -171,13 +175,12 @@ def table6_schemes(
     for name in inputs:
         g = load_dataset(name, scale=scale, seed=seed)
         init = greedy_coloring(g)
-        times = scheme_comparison(
-            g, init,
-            {"vff": parallel_shuffle_balance,
-             "sched-rev": parallel_scheduled_balance,
-             "recoloring": parallel_recoloring},
-            machine, num_threads,
-        )
+        times = {
+            strategy: execute(
+                g, RunConfig(strategy, mode="superstep", threads=num_threads,
+                             machine=machine), initial=init).machine_time.total_s
+            for strategy in ("vff", "sched-rev", "recoloring")
+        }
         t.add(name, round(times["vff"] * 1e3, 3), round(times["sched-rev"] * 1e3, 3),
               round(times["recoloring"] * 1e3, 3),
               round(times["vff"] / times["sched-rev"], 1))

@@ -43,7 +43,6 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..obs import NULL
-from . import reference
 from .reference import _drain_round_event
 
 __all__ = ["ff_sweep", "shuffle_drain"]

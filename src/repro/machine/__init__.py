@@ -29,12 +29,32 @@ from .x86 import xeon_x7560
 from .tilera import tilegx36
 
 __all__ = [
+    "MACHINES",
     "MachineModel",
     "TimeBreakdown",
     "estimate_time",
     "MeshNoC",
     "CacheLevel",
     "CacheHierarchy",
+    "resolve_machine",
     "xeon_x7560",
     "tilegx36",
 ]
+
+#: the paper's two platforms, by CLI-friendly name
+MACHINES = {
+    "tilegx36": tilegx36,
+    "x7560": xeon_x7560,
+}
+
+
+def resolve_machine(spec: str | MachineModel | None) -> MachineModel | None:
+    """Resolve a machine given by name, model instance, or ``None``."""
+    if spec is None or isinstance(spec, MachineModel):
+        return spec
+    try:
+        return MACHINES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {spec!r}; choose from {sorted(MACHINES)}"
+        ) from None

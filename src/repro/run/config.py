@@ -1,0 +1,122 @@
+"""The :class:`RunConfig` / :class:`RunResult` value types of the run layer.
+
+A :class:`RunConfig` is a complete, immutable description of one coloring
+run: which Table-I strategy, in which execution mode, at what thread
+count, priced on which machine model — plus the cross-cutting options
+(kernel backend, initial-coloring vertex order, seed, scheduled-move
+rounds, balance weight) that previously had to be threaded by hand into
+each concrete function.  :func:`repro.run.execute` turns a config into a
+:class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from ..coloring.balance import BalanceReport
+from ..coloring.strategies import MODES
+from ..coloring.types import Coloring
+from ..machine.model import MachineModel, TimeBreakdown
+
+__all__ = ["RunConfig", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to reproduce one coloring run.
+
+    Parameters mirror the knobs of the paper's experiments:
+
+    - ``strategy``: a Table-I registry name (see ``repro.coloring.STRATEGIES``).
+    - ``mode``: ``"sequential"`` (reference algorithms), ``"superstep"``
+      (tick-machine speculation schemes), or ``"mp"`` (real processes).
+    - ``threads``: simulated threads (superstep) or worker processes (mp);
+      must stay 1 in sequential mode.
+    - ``machine``: optional machine model (or its registry name,
+      ``"tilegx36"`` / ``"x7560"``) used to price the execution trace.
+    - ``backend``: kernel backend (``"reference"`` / ``"vectorized"``);
+      resolved once and applied wherever a kernel-backed sweep runs.
+    - ``ordering``: vertex order for the (initial) greedy coloring.
+    - ``seed``: root seed; guided runs derive independent child seeds for
+      the initial coloring and the strategy (never the same stream twice).
+    - ``rounds``: re-plan rounds for the scheduled-move strategies.
+    - ``weight``: balance objective for sequential shuffling
+      (``"unit"`` class cardinality, ``"degree"`` class work).
+    - ``strategy_kwargs``: extra options forwarded to the implementation
+      (validated against the options it declares).
+    """
+
+    strategy: str
+    mode: str = "sequential"
+    threads: int = 1
+    machine: str | MachineModel | None = None
+    backend: str | None = None
+    ordering: str = "natural"
+    seed: Any = None
+    rounds: int = 1
+    weight: str = "unit"
+    strategy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {list(MODES)}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.mode == "sequential" and self.threads != 1:
+            raise ValueError(
+                f"sequential mode runs on one thread, got threads={self.threads}; "
+                "use mode='superstep' or mode='mp' for parallel runs"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.weight not in ("unit", "degree"):
+            raise ValueError(f"weight must be 'unit' or 'degree', got {self.weight!r}")
+        # freeze the kwargs mapping so the config stays value-like
+        object.__setattr__(
+            self, "strategy_kwargs", MappingProxyType(dict(self.strategy_kwargs))
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one :func:`repro.run.execute` call produced.
+
+    ``balance`` is computed from the final coloring by
+    :func:`repro.coloring.balance_report` — the parity test-suite asserts
+    it always matches a direct recomputation.  ``trace`` is the tick
+    machine's :class:`~repro.parallel.engine.ExecutionTrace` when the mode
+    produced one (superstep modes only), and ``machine_time`` prices that
+    trace on ``config.machine`` when both exist.  ``wall_s`` holds real
+    wall-clock phase timings (``initial`` / ``strategy`` / ``total``), and
+    ``recorder`` is whatever observability sink the run resolved to.
+    """
+
+    config: RunConfig
+    coloring: Coloring
+    initial: Coloring | None
+    balance: BalanceReport
+    trace: Any | None
+    machine_time: TimeBreakdown | None
+    wall_s: Mapping[str, float]
+    recorder: Any
+
+    def summary(self) -> str:
+        """One human line: what ran and how balanced/fast it came out."""
+        cfg = self.config
+        bits = [
+            f"{cfg.strategy} [{cfg.mode}, p={cfg.threads}]",
+            f"n={self.coloring.num_vertices}",
+            f"C={self.coloring.num_colors}",
+            f"rsd={self.balance.rsd_percent:.2f}%",
+            f"gamma={self.balance.gamma:.1f}",
+        ]
+        if self.trace is not None:
+            bits.append(f"supersteps={self.trace.num_supersteps}")
+            bits.append(f"conflicts={self.trace.total_conflicts}")
+        if self.machine_time is not None:
+            machine = cfg.machine if isinstance(cfg.machine, str) else cfg.machine.name
+            bits.append(f"model={self.machine_time.total_s * 1e3:.3f}ms on {machine}")
+        bits.append(f"wall={self.wall_s['total']:.3f}s")
+        return "  ".join(bits)

@@ -50,3 +50,45 @@ class TestCli:
         assert events[-1]["kind"] == "run_summary"
         assert any(e["kind"] == "coloring" for e in events)
         assert any(e["kind"] == "balance" for e in events)
+
+
+class TestRunCommand:
+    def test_list_shows_strategy_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy-ff" in out and "sequential, superstep, mp" in out
+
+    def test_run_sequential(self, capsys):
+        assert main(["run", "--strategy", "vff", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "vff [sequential" in out and "rsd=" in out
+
+    def test_run_superstep_with_machine(self, capsys):
+        assert main(["run", "--strategy", "vff", "--mode", "superstep",
+                     "--threads", "4", "--machine", "tilegx36",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "vff [superstep" in out and "model=" in out
+
+    def test_run_requires_strategy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--scale", "0.05"])
+        assert "--strategy" in capsys.readouterr().err
+
+    def test_run_unsupported_pair_exits_2(self, capsys):
+        rc = main(["run", "--strategy", "kempe", "--mode", "superstep",
+                   "--threads", "2", "--scale", "0.05"])
+        assert rc == 2
+        assert "does not support mode" in capsys.readouterr().err
+
+    def test_run_trace_archives_events(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["run", "--strategy", "vff", "--mode", "superstep",
+                     "--threads", "4", "--scale", "0.05",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "archived" in out
+        events = read_jsonl(trace)
+        assert any(e["kind"] == "superstep" for e in events)

@@ -5,8 +5,6 @@ accounting makes this testable deterministically — work must grow roughly
 linearly with the edge count on a fixed family, not quadratically.
 """
 
-import numpy as np
-import pytest
 
 from repro.coloring import greedy_coloring
 from repro.graph import erdos_renyi_graph, grid_3d_graph

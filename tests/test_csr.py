@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, from_edge_arrays, from_edge_list, path_graph
+from repro.graph import CSRGraph, from_edge_arrays, path_graph
 
 
 class TestStructure:

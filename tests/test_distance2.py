@@ -9,7 +9,7 @@ from repro.coloring import (
     greedy_distance2,
     is_distance2_proper,
 )
-from repro.graph import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph import cycle_graph, path_graph, star_graph
 
 
 class TestGreedyDistance2:

@@ -8,7 +8,7 @@ import pytest
 from repro.coloring import greedy_coloring
 from repro.community import parallel_louvain
 from repro.machine.tilera import TILERA_NOC, page_policy_access_ns
-from repro.parallel.engine import ExecutionTrace, SuperstepRecord, TickMachine
+from repro.parallel.engine import ExecutionTrace, TickMachine
 from repro.solver import laplacian_system, multicolor_gauss_seidel
 
 

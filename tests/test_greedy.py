@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.coloring import assert_proper, greedy_coloring, is_proper
-from repro.graph import complete_graph, cycle_graph, erdos_renyi_graph, path_graph, star_graph
+from repro.graph import cycle_graph, erdos_renyi_graph
 from repro.graph.properties import core_number
 
 

@@ -14,7 +14,6 @@ from repro.coloring import (
 from repro.graph import erdos_renyi_graph
 from repro.obs import (
     NULL,
-    NullRecorder,
     Recorder,
     as_recorder,
     install,

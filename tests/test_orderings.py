@@ -11,7 +11,6 @@ from repro.graph import (
     path_graph,
     random_order,
     smallest_last_order,
-    star_graph,
     vertex_order,
 )
 from repro.graph.properties import core_number

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import grid_3d_graph, load_dataset, path_graph
+from repro.graph import grid_3d_graph, path_graph
 from repro.parallel.partition import (
     bfs_partition,
     block_partition,

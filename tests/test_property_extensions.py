@@ -1,7 +1,6 @@
 """Property-based tests for the extension modules (JP, D2, Kempe, solver)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.coloring import (

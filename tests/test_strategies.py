@@ -20,10 +20,20 @@ class TestRegistry:
     def test_all_table1_rows_present(self):
         assert TABLE1_STRATEGIES <= set(STRATEGIES)
 
+    def test_greedy_ff_row_present(self):
+        spec = STRATEGIES["greedy-ff"]
+        assert spec.category == "ab_initio"
+        assert spec.modes == ("sequential", "superstep", "mp")
+
     def test_categories(self):
         assert STRATEGIES["greedy-lu"].category == "ab_initio"
         assert STRATEGIES["vff"].category == "guided"
         assert STRATEGIES["recoloring"].category == "guided"
+
+    def test_every_spec_exposes_modes(self):
+        for name, spec in STRATEGIES.items():
+            assert "sequential" in spec.modes, name
+            assert spec.implementation("sequential") is spec.sequential, name
 
     def test_same_color_count_flags(self):
         for name in ("vff", "vlu", "cff", "clu", "sched-rev", "sched-fwd"):

@@ -116,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-plan rounds for the scheduled strategies")
     run.add_argument("--weight", choices=["unit", "degree"], default="unit",
                      help="balance objective for sequential shuffling")
+    from .resilience import ON_FAILURE_POLICIES
+
+    run.add_argument("--on-failure", choices=list(ON_FAILURE_POLICIES),
+                     default="raise", dest="on_failure",
+                     help="post-run invariant-violation policy: raise "
+                     "(default), repair violating vertices sequentially, or "
+                     "fall back to the sequential implementation")
+    run.add_argument("--fault-plan", default=None, metavar="SPEC",
+                     dest="fault_plan",
+                     help="deterministic fault injection, e.g. "
+                     "'kill@r0.w1;stall@r1.w0:0.5' (see repro.resilience; "
+                     "also honors the REPRO_FAULT_PLAN env var)")
+    run.add_argument("--round-timeout", type=float, default=None,
+                     metavar="SECONDS", dest="round_timeout",
+                     help="mp mode: per-block collection timeout — a dead or "
+                     "hung worker is detected after at most this long "
+                     "(default 60)")
     return parser
 
 
@@ -141,10 +158,15 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
     if args.strategy is None:
         parser.error("'run' requires --strategy (see 'python -m repro list')")
     try:
+        strategy_kwargs = {}
+        if args.round_timeout is not None:
+            strategy_kwargs["round_timeout"] = args.round_timeout
         config = RunConfig(
             strategy=args.strategy, mode=args.mode, threads=args.threads,
             machine=args.machine, backend=args.backend, ordering=args.ordering,
             seed=args.seed, rounds=args.rounds, weight=args.weight,
+            on_failure=args.on_failure, fault_plan=args.fault_plan,
+            strategy_kwargs=strategy_kwargs,
         )
         graph = load_dataset(args.input, scale=args.scale, seed=args.seed)
         tracer = traced_run(args.trace) if args.trace is not None else nullcontext(None)

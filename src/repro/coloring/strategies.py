@@ -186,7 +186,7 @@ def _seq_kempe(graph: CSRGraph, initial: Coloring | None = None, *,
 # --------------------------------------------------------------------------
 
 
-@_accepts("ordering", "max_rounds")
+@_accepts("ordering", "max_rounds", "fault_plan")
 def _superstep_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
                          threads: int = 1, seed=None, recorder=None,
                          **kwargs) -> Coloring:
@@ -202,7 +202,7 @@ def _superstep_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
 
 
 def _superstep_shuffled(choice: str, traversal: str):
-    @_accepts("max_rounds")
+    @_accepts("max_rounds", "fault_plan")
     def run(graph: CSRGraph, initial: Coloring | None = None, *,
             threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
         from ..parallel.shuffled import parallel_shuffle_balance
@@ -227,7 +227,7 @@ def _superstep_scheduled(reverse: bool):
     return run
 
 
-@_accepts("max_rounds")
+@_accepts("max_rounds", "fault_plan")
 def _superstep_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
                           threads: int = 1, seed=None, recorder=None,
                           **kwargs) -> Coloring:
@@ -242,7 +242,8 @@ def _superstep_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
 # --------------------------------------------------------------------------
 
 
-@_accepts("max_rounds", "partition", "backend")
+@_accepts("max_rounds", "partition", "backend", "fault_plan", "round_timeout",
+          "max_retries")
 def _mp_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
                   threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
     from ..parallel.mp import mp_greedy_ff

@@ -141,13 +141,28 @@ class ExecutionTrace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionTrace":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Malformed input (an archive truncated mid-write, or produced by an
+        older schema) raises :class:`ValueError` naming the missing field
+        — mirroring the graph-I/O diagnostics — instead of a bare
+        ``KeyError`` from deep inside the constructor.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"ExecutionTrace.from_dict needs a dict, got {type(data).__name__}")
+        if "num_threads" not in data:
+            raise ValueError("ExecutionTrace dict is missing 'num_threads'")
         trace = cls(
             num_threads=data["num_threads"],
             algorithm=data.get("algorithm", ""),
             serial_work=data.get("serial_work", 0.0),
         )
-        for ss in data.get("supersteps", []):
+        for i, ss in enumerate(data.get("supersteps", [])):
+            if not isinstance(ss, dict) or "work_per_thread" not in ss:
+                raise ValueError(
+                    f"superstep {i} in ExecutionTrace dict is missing "
+                    f"'work_per_thread'")
             record = SuperstepRecord(
                 work_per_thread=np.asarray(ss["work_per_thread"], dtype=float),
                 max_item_work=ss.get("max_item_work", 0.0),

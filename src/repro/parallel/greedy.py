@@ -18,6 +18,7 @@ from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..kernels import detect_conflicts
 from ..obs import as_recorder
+from ..resilience import ConvergenceWatchdog, DEFAULT_PATIENCE, resolve_fault_plan
 from ..util import check_permutation
 from .engine import TickMachine
 
@@ -31,6 +32,8 @@ def parallel_greedy_ff(
     ordering: np.ndarray | None = None,
     max_rounds: int = 200,
     recorder=None,
+    fault_plan=None,
+    watchdog_patience: int = DEFAULT_PATIENCE,
 ) -> Coloring:
     """Color *graph* with First-Fit under *num_threads* simulated threads.
 
@@ -40,8 +43,19 @@ def parallel_greedy_ff(
     (optional :class:`repro.obs.Recorder`) gets the same trace as
     per-``superstep`` events plus a final ``coloring`` event — attaching
     one never changes the result.
+
+    A :class:`~repro.resilience.ConvergenceWatchdog` monitors the retry
+    list: if it fails to shrink for ``watchdog_patience`` consecutive
+    rounds the loop degrades to sequential execution (guaranteed
+    progress) instead of spinning to ``max_rounds``; the fallback round
+    lands in ``meta["watchdog_round"]``.  ``fault_plan`` (see
+    :mod:`repro.resilience.faults`) can deterministically waste rounds
+    (``stick`` faults) to exercise that path.
     """
     rec = as_recorder(recorder)
+    plan = resolve_fault_plan(fault_plan)
+    watchdog = ConvergenceWatchdog(watchdog_patience, recorder=rec,
+                                   algorithm="greedy-ff-parallel")
     n = graph.num_vertices
     machine = TickMachine(num_threads, algorithm="greedy-ff")
     indptr, indices = graph.indptr, graph.indices
@@ -61,7 +75,13 @@ def parallel_greedy_ff(
     with rec.phase("greedy-ff-parallel"):
         while work_list.shape[0]:
             rounds += 1
-            threads = machine.num_threads if rounds <= max_rounds else 1
+            stick = plan.stick_active(rounds - 1)
+            if stick:
+                saved_colors = colors.copy()
+                if rec.enabled:
+                    rec.event("fault_injected", fault="stick", round=rounds - 1)
+            threads = 1 if (watchdog.fired or rounds > max_rounds) \
+                else machine.num_threads
             record = machine.new_superstep()
             p = threads
             for t0 in range(0, work_list.shape[0], p):
@@ -79,13 +99,21 @@ def parallel_greedy_ff(
                     machine.charge(record, j % machine.num_threads, row.shape[0])
                 colors[batch] = pending  # tick boundary: writes commit
 
-            # detection phase: each vertex in the work list rescans its adjacency
-            retry = detect_conflicts(graph, colors, work_list)
-            for j, v in enumerate(work_list):
-                machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
-            record.conflicts = int(retry.shape[0])
+            if stick:
+                # injected fault: the round's commits are lost wholesale
+                colors[:] = saved_colors
+                retry = work_list
+                record.conflicts = int(work_list.shape[0])
+            else:
+                # detection phase: each work-list vertex rescans its adjacency
+                retry = detect_conflicts(graph, colors, work_list)
+                for j, v in enumerate(work_list):
+                    machine.charge(record, j % machine.num_threads,
+                                   graph.degree(int(v)))
+                record.conflicts = int(retry.shape[0])
             machine.trace.add(record)
             work_list = retry
+            watchdog.observe(int(work_list.shape[0]))
 
     num_colors = int(colors.max(initial=-1)) + 1
     machine.trace.record_to(rec)
@@ -94,9 +122,12 @@ def parallel_greedy_ff(
                   num_vertices=n, num_colors=num_colors,
                   threads=machine.num_threads, rounds=rounds,
                   conflicts=machine.trace.total_conflicts)
+    meta = {"trace": machine.trace, "rounds": rounds, **machine.trace.summary()}
+    if watchdog.fired:
+        meta["watchdog_round"] = watchdog.fired_round
     return Coloring(
         colors,
         num_colors,
         strategy="greedy-ff-parallel",
-        meta={"trace": machine.trace, "rounds": rounds, **machine.trace.summary()},
+        meta=meta,
     )

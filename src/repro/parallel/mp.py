@@ -11,6 +11,18 @@ edge is retried next round — the same protocol as
 playing the role of racing threads (workers cannot see each other's
 in-round proposals, exactly like same-tick peers).
 
+Unlike the simulated loops, real workers can *fail*: a forked process can
+die, hang, or (in principle) return garbage.  Every round therefore runs
+guarded — each block is an :class:`~multiprocessing.pool.AsyncResult`
+collected with a timeout, failed blocks are retried with bounded
+exponential backoff, completed blocks are always salvaged, and a block
+whose retries are exhausted is colored in-process (the degraded path).
+Failures are injected deterministically for testing via a
+:class:`repro.resilience.FaultPlan` (``fault_plan=`` argument or the
+``REPRO_FAULT_PLAN`` environment variable); recovery from kill/stall/
+corrupt faults reproduces the fault-free coloring bit-identically, because
+a retried block re-colors the same vertices against the same snapshot.
+
 Because each round ships the colors snapshot to every worker, speedups are
 real but modest, and only worthwhile for graphs large enough to amortize
 the IPC; the docstring of :func:`mp_greedy_ff` quantifies the trade-off.
@@ -21,14 +33,28 @@ experiments use the machine models (DESIGN.md §2).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .. import kernels
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..obs import as_recorder
+from ..resilience import FaultPlan, InjectedFault, resolve_fault_plan
 
 __all__ = ["mp_greedy_ff"]
+
+#: Per-block-attempt collection timeout (seconds) when none is given.  A
+#: hung or killed worker surfaces as a timeout after at most this long,
+#: instead of hanging the whole run forever as a bare ``pool.map`` would.
+DEFAULT_ROUND_TIMEOUT = 60.0
+
+#: Retries per failed block before degrading to in-process coloring.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential backoff between retry attempts (seconds).
+DEFAULT_BACKOFF = 0.05
 
 # Worker-process globals, installed by _init_worker (fork-safe: on Linux the
 # arrays are shared copy-on-write, so no per-task graph pickling happens).
@@ -52,6 +78,152 @@ def _color_block(args: tuple[np.ndarray, np.ndarray, str]) -> np.ndarray:
     return local[block]
 
 
+def _color_block_task(
+    args: tuple[np.ndarray, np.ndarray, str, tuple | None]
+) -> np.ndarray:
+    """Worker task: apply any injected fault, then color the block."""
+    block, colors, backend, fault = args
+    if fault is not None:
+        if fault[0] == "kill":
+            import os
+
+            os._exit(13)  # hard death: no exception, no cleanup, no result
+        elif fault[0] == "stall":
+            time.sleep(fault[1])
+        elif fault[0] == "raise":  # pragma: no cover - debugging aid
+            raise InjectedFault(f"injected crash in block task {fault}")
+    return _color_block((block, colors, backend))
+
+
+def _valid_proposals(res, block: np.ndarray, num_vertices: int) -> bool:
+    """True iff a block's returned proposals are structurally sound.
+
+    A healthy FF sweep returns one non-negative color below *n* per block
+    vertex; anything else (wrong shape, wrong dtype, negative or absurd
+    colors) is treated as a corrupted proposal and the block is retried.
+    """
+    if not isinstance(res, np.ndarray) or res.shape != block.shape:
+        return False
+    if not np.issubdtype(res.dtype, np.integer):
+        return False
+    return bool(res.size == 0 or (res.min() >= 0 and res.max() < num_vertices))
+
+
+def _detect_conflicts_guarded(
+    graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray
+) -> np.ndarray:
+    """Conflict detection that survives stale-snapshot proposals.
+
+    The classic resolution rule (``kernels.detect_conflicts``) retries the
+    higher-id endpoint of each monochromatic edge *when that endpoint
+    speculated this round*.  A worker fed a stale snapshot can also
+    collide with an already-finalized higher-id neighbor — impossible in
+    the fault-free protocol (the snapshot shows every finalized color), so
+    the classic rule misses it and the improper edge would survive to the
+    final coloring.  Here the speculating endpoint is retried in that case
+    too; the finalized neighbor keeps its color.  On fault-free rounds the
+    extra mask is empty, so results stay bit-identical to the classic rule.
+    """
+    in_work = np.zeros(graph.num_vertices, dtype=bool)
+    in_work[work_list] = True
+    u, v = graph.edge_arrays()  # u < v
+    mono = (colors[u] == colors[v]) & (colors[u] >= 0)
+    retry_hi = mono & in_work[v]
+    retry_lo = mono & in_work[u] & ~in_work[v]
+    return np.unique(np.concatenate([v[retry_hi], u[retry_lo]]))
+
+
+def _guarded_round(
+    pool,
+    blocks: list[np.ndarray],
+    snapshot: np.ndarray,
+    stale: np.ndarray,
+    resolved: str,
+    plan: FaultPlan,
+    round_idx: int,
+    *,
+    timeout: float,
+    max_retries: int,
+    backoff: float,
+    rec,
+    stats: dict,
+) -> list[np.ndarray | None]:
+    """Collect one round's block proposals, surviving worker failures.
+
+    Submits every block up front (full parallelism on the happy path),
+    then collects each :class:`AsyncResult` with *timeout*.  A timeout
+    (dead or stalled worker), a raised exception (crashed task), or an
+    invalid proposal array (corruption) marks the attempt failed; the
+    block is resubmitted with exponential backoff up to *max_retries*
+    times.  Returns one proposals array per block, or ``None`` where every
+    attempt failed (the caller degrades those to in-process coloring).
+    Merging is by block order, so the result is independent of completion
+    timing.
+    """
+    import multiprocessing as mp
+
+    def submit(w: int, attempt: int):
+        spec = plan.for_task(round_idx, w, attempt)
+        fault = None
+        corrupt = False
+        snap = snapshot
+        if spec is not None:
+            stats["injected"] += 1
+            if rec.enabled:
+                rec.event("fault_injected", fault=spec.kind, round=round_idx,
+                          worker=w, attempt=attempt)
+            if spec.kind == "kill":
+                fault = ("kill",)
+            elif spec.kind == "stall":
+                fault = ("stall", spec.duration)
+            elif spec.kind == "corrupt":
+                corrupt = True
+            elif spec.kind == "stale":
+                snap = stale
+        handle = pool.apply_async(
+            _color_block_task, ((blocks[w], snap, resolved, fault),))
+        return handle, corrupt
+
+    pending = [submit(w, 0) for w in range(len(blocks))]
+    out: list[np.ndarray | None] = []
+    for w, block in enumerate(blocks):
+        handle, corrupt = pending[w]
+        attempt = 0
+        proposals: np.ndarray | None = None
+        while True:
+            reason = None
+            try:
+                res = handle.get(timeout=timeout)
+                if corrupt:
+                    res = plan.corrupt(res, round_idx, w)
+                if _valid_proposals(res, block, snapshot.shape[0]):
+                    proposals = res
+                else:
+                    reason = "corrupt"
+            except mp.TimeoutError:
+                reason = "timeout"
+            except Exception as exc:
+                reason = f"crash:{type(exc).__name__}"
+            if proposals is not None:
+                if attempt > 0:
+                    stats["recovered"] += 1
+                    if rec.enabled:
+                        rec.event("fault_recovered", round=round_idx, worker=w,
+                                  attempt=attempt)
+                break
+            stats["detected"] += 1
+            if rec.enabled:
+                rec.event("fault_detected", round=round_idx, worker=w,
+                          attempt=attempt, reason=reason)
+            if attempt >= max_retries:
+                break  # caller salvages in-process
+            time.sleep(backoff * (2 ** attempt))
+            attempt += 1
+            handle, corrupt = submit(w, attempt)
+        out.append(proposals)
+    return out
+
+
 def mp_greedy_ff(
     graph: CSRGraph,
     *,
@@ -61,6 +233,10 @@ def mp_greedy_ff(
     seed=None,
     backend: str | None = None,
     recorder=None,
+    fault_plan: FaultPlan | str | None = None,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
 ) -> Coloring:
     """Greedy-FF coloring computed by *num_workers* OS processes.
 
@@ -78,19 +254,42 @@ def mp_greedy_ff(
     :mod:`repro.kernels`).  Both backends produce bit-identical block
     colorings, so the overall result is backend-independent.
 
+    Every round is guarded: each block's :class:`AsyncResult` is collected
+    with ``round_timeout`` seconds, failed blocks (dead worker, stalled
+    worker, corrupted proposals) are retried up to ``max_retries`` times
+    with exponential ``backoff``, and a block whose retries are exhausted
+    is colored in-process so the run *always* terminates with a proper
+    coloring.  ``fault_plan`` (a :class:`repro.resilience.FaultPlan`, a
+    spec string, or the ``REPRO_FAULT_PLAN`` environment variable)
+    injects such failures deterministically for testing.
+
     Returns a proper :class:`Coloring`; ``meta["rounds"]`` records how many
     speculation rounds were needed and ``meta["conflicts"]`` the total
-    number of retried vertices.
+    number of retried vertices.  ``meta["faults"]`` counts injected /
+    detected / recovered faults and in-process-salvaged blocks;
+    ``meta["residual"]`` is the number of vertices finished by the
+    sequential residual pass after the round cap, and ``meta["degraded"]``
+    is True whenever any work bypassed the worker pool (salvage or
+    residual) — truncation is never silent.
 
     ``recorder`` (optional :class:`repro.obs.Recorder`) gets one
     ``mp_round`` event per speculation round (workers, vertices colored,
-    conflicts) inside a ``greedy-ff-mp`` phase timer; attaching one never
-    changes the result.
+    conflicts) plus ``fault_injected`` / ``fault_detected`` /
+    ``fault_recovered`` / ``mp_salvage`` / ``mp_degraded`` events inside a
+    ``greedy-ff-mp`` phase timer; attaching one never changes the result.
     """
     from .partition import bfs_partition, block_partition, random_partition
 
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if max_rounds < 1:
+        raise ValueError(
+            f"max_rounds must be >= 1, got {max_rounds}; a run with no "
+            "speculation rounds would silently color everything sequentially")
+    if round_timeout <= 0:
+        raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     partitioners = {
         "block": lambda: block_partition(graph, num_workers),
         "random": lambda: random_partition(graph, num_workers, seed=seed),
@@ -100,12 +299,14 @@ def mp_greedy_ff(
         raise ValueError(
             f"partition must be one of {sorted(partitioners)}, got {partition!r}")
     rec = as_recorder(recorder)
+    plan = resolve_fault_plan(fault_plan)
     resolved = kernels.resolve_backend(backend)
     n = graph.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
     work_list = np.arange(n, dtype=np.int64)
     rounds = 0
     total_conflicts = 0
+    stats = {"injected": 0, "detected": 0, "recovered": 0, "salvaged": 0}
 
     if num_workers == 1:
         with rec.phase("greedy-ff-mp"):
@@ -118,7 +319,8 @@ def mp_greedy_ff(
                       backend=resolved)
         return Coloring(colors, num_colors, strategy="greedy-ff-mp",
                         meta={"workers": 1, "rounds": 1, "conflicts": 0,
-                              "partition": partition, "backend": resolved})
+                              "partition": partition, "backend": resolved,
+                              "faults": stats, "degraded": False, "residual": 0})
 
     # the partition fixes a global order; each round splits the remaining
     # work list along it, preserving the partitioner's locality
@@ -131,39 +333,65 @@ def mp_greedy_ff(
     import multiprocessing as mp
 
     ctx = mp.get_context("fork")
+    stale_snapshot = colors.copy()  # round -1: everything uncolored
     with rec.phase("greedy-ff-mp"), ctx.Pool(
         processes=num_workers,
         initializer=_init_worker,
         initargs=(graph.indptr, graph.indices),
     ) as pool:
         while work_list.shape[0] and rounds < max_rounds:
+            round_idx = rounds
             rounds += 1
             ordered = work_list[np.argsort(position[work_list])]
             blocks = [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
-            results = pool.map(_color_block, [(b, colors, resolved) for b in blocks])
+            snapshot = colors.copy()
+            results = _guarded_round(
+                pool, blocks, snapshot, stale_snapshot, resolved, plan,
+                round_idx, timeout=round_timeout, max_retries=max_retries,
+                backoff=backoff, rec=rec, stats=stats)
+            salvage = []
             for b, res in zip(blocks, results):
-                colors[b] = res
+                if res is None:
+                    salvage.append(b)
+                else:
+                    colors[b] = res
+            for b in salvage:
+                # degraded path: color the abandoned block in-process, in
+                # block order, against the merged survivors
+                stats["salvaged"] += 1
+                if rec.enabled:
+                    rec.event("mp_salvage", round=round_idx,
+                              vertices=int(b.shape[0]))
+                colors[b] = kernels.ff_sweep(graph, b, colors,
+                                             backend=resolved)[b]
+            stale_snapshot = snapshot
             attempted = int(work_list.shape[0])
-            work_list = kernels.detect_conflicts(graph, colors, work_list)
+            work_list = _detect_conflicts_guarded(graph, colors, work_list)
             total_conflicts += int(work_list.shape[0])
             if rec.enabled:
-                rec.event("mp_round", index=rounds - 1, workers=num_workers,
+                rec.event("mp_round", index=round_idx, workers=num_workers,
                           attempted=attempted, conflicts=int(work_list.shape[0]))
 
-    if work_list.shape[0]:  # residual conflicts: finish sequentially
-        _init_worker(graph.indptr, graph.indices)
-        colors[work_list] = _color_block((work_list, colors, resolved))
+    residual = int(work_list.shape[0])
+    if residual:  # residual conflicts: finish sequentially
+        if rec.enabled:
+            rec.event("mp_degraded", reason="max_rounds", residual=residual)
+        colors[work_list] = kernels.ff_sweep(graph, work_list, colors,
+                                             backend=resolved)[work_list]
 
     num_colors = int(colors.max(initial=-1)) + 1
+    degraded = bool(residual or stats["salvaged"])
     if rec.enabled:
         rec.event("coloring", strategy="greedy-ff-mp", num_vertices=n,
                   num_colors=num_colors, workers=num_workers, rounds=rounds,
-                  conflicts=total_conflicts, backend=resolved)
+                  conflicts=total_conflicts, backend=resolved,
+                  degraded=degraded)
     return Coloring(
         colors,
         num_colors,
         strategy="greedy-ff-mp",
         meta={"workers": num_workers, "rounds": rounds,
               "conflicts": total_conflicts, "partition": partition,
-              "backend": resolved},
+              "backend": resolved, "faults": stats, "degraded": degraded,
+              "residual": residual},
     )

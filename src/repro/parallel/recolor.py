@@ -22,6 +22,7 @@ from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..kernels import detect_conflicts
 from ..obs import as_recorder
+from ..resilience import ConvergenceWatchdog, DEFAULT_PATIENCE, resolve_fault_plan
 from .engine import TickMachine
 
 __all__ = ["parallel_recoloring"]
@@ -34,6 +35,8 @@ def parallel_recoloring(
     num_threads: int = 1,
     max_rounds: int = 100,
     recorder=None,
+    fault_plan=None,
+    watchdog_patience: int = DEFAULT_PATIENCE,
 ) -> Coloring:
     """Recolor *graph* under capacity γ with simulated threads.
 
@@ -42,8 +45,16 @@ def parallel_recoloring(
     :class:`repro.obs.Recorder`) gets the trace as per-``superstep``
     events plus a final ``coloring`` event; attaching one never changes
     the result.
+
+    A :class:`~repro.resilience.ConvergenceWatchdog` degrades the loop to
+    one thread once the retry list stops shrinking for
+    ``watchdog_patience`` rounds (see :mod:`repro.parallel.greedy`);
+    ``fault_plan`` ``stick`` faults waste chosen rounds to test it.
     """
     rec = as_recorder(recorder)
+    plan = resolve_fault_plan(fault_plan)
+    watchdog = ConvergenceWatchdog(watchdog_patience, recorder=rec,
+                                   algorithm="recoloring-parallel")
     n = graph.num_vertices
     if initial.num_vertices != n:
         raise ValueError("coloring does not match graph")
@@ -64,7 +75,13 @@ def parallel_recoloring(
     with rec.phase("recoloring-parallel"):
         while work_list.shape[0]:
             rounds += 1
-            p = machine.num_threads if rounds <= max_rounds else 1
+            stick = plan.stick_active(rounds - 1)
+            if stick:
+                saved = (colors.copy(), bins.copy())
+                if rec.enabled:
+                    rec.event("fault_injected", fault="stick", round=rounds - 1)
+            p = 1 if (watchdog.fired or rounds > max_rounds) \
+                else machine.num_threads
             record = machine.new_superstep()
             for t0 in range(0, work_list.shape[0], p):
                 batch = work_list[t0 : t0 + p]
@@ -98,13 +115,21 @@ def parallel_recoloring(
                     staged[j] = k
                 colors[batch] = staged  # tick boundary: plain writes commit
 
-            retry = detect_conflicts(graph, colors, work_list)
-            for j, v in enumerate(work_list):
-                machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
-            record.conflicts = int(retry.shape[0])
+            if stick:
+                # injected fault: commits and bin updates are lost wholesale
+                colors[:], bins[:] = saved
+                retry = work_list
+                record.conflicts = int(work_list.shape[0])
+            else:
+                retry = detect_conflicts(graph, colors, work_list)
+                for j, v in enumerate(work_list):
+                    machine.charge(record, j % machine.num_threads,
+                                   graph.degree(int(v)))
+                record.conflicts = int(retry.shape[0])
             record.distinct_bins = int(np.count_nonzero(bins))
             machine.trace.add(record)
             work_list = retry
+            watchdog.observe(int(work_list.shape[0]))
 
     num_colors = int(colors.max(initial=-1)) + 1
     machine.trace.record_to(rec)
@@ -113,16 +138,19 @@ def parallel_recoloring(
                   num_vertices=n, num_colors=num_colors,
                   threads=machine.num_threads, rounds=rounds,
                   conflicts=machine.trace.total_conflicts)
+    meta = {
+        "trace": machine.trace,
+        "gamma": g,
+        "initial_colors": initial.num_colors,
+        "initial_strategy": initial.strategy,
+        "rounds": rounds,
+        **machine.trace.summary(),
+    }
+    if watchdog.fired:
+        meta["watchdog_round"] = watchdog.fired_round
     return Coloring(
         colors,
         num_colors,
         strategy="recoloring-parallel",
-        meta={
-            "trace": machine.trace,
-            "gamma": g,
-            "initial_colors": initial.num_colors,
-            "initial_strategy": initial.strategy,
-            "rounds": rounds,
-            **machine.trace.summary(),
-        },
+        meta=meta,
     )

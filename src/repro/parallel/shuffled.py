@@ -27,6 +27,7 @@ from ..coloring.balance import relative_std_dev
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..obs import as_recorder
+from ..resilience import ConvergenceWatchdog, DEFAULT_PATIENCE, resolve_fault_plan
 from .engine import VERTEX_OVERHEAD, TickMachine
 
 __all__ = ["parallel_shuffle_balance"]
@@ -41,6 +42,8 @@ def parallel_shuffle_balance(
     num_threads: int = 1,
     max_rounds: int = 100,
     recorder=None,
+    fault_plan=None,
+    watchdog_patience: int = DEFAULT_PATIENCE,
 ) -> Coloring:
     """Parallel VFF/VLU/CFF/CLU balancing of *initial*.
 
@@ -49,6 +52,15 @@ def parallel_shuffle_balance(
     :class:`repro.obs.Recorder`) gets the trace as per-``superstep``
     events plus a final ``balance`` event; attaching one never changes
     the result.
+
+    The vertex-centric loop carries a
+    :class:`~repro.resilience.ConvergenceWatchdog`: a work list that
+    stops shrinking for ``watchdog_patience`` rounds (every mover
+    reverted, round after round) degrades the loop to one thread —
+    races become impossible, so the list drains — instead of spinning to
+    ``max_rounds``.  ``fault_plan`` ``stick`` faults waste chosen rounds
+    deterministically to exercise that path; color-centric traversal has
+    no retry loop and ignores the plan.
     """
     if choice not in ("ff", "lu"):
         raise ValueError(f"choice must be 'ff' or 'lu', got {choice!r}")
@@ -67,11 +79,14 @@ def parallel_shuffle_balance(
     colors = initial.colors.copy()
     sizes = np.bincount(colors, minlength=C).astype(np.int64)
 
+    watchdog = ConvergenceWatchdog(watchdog_patience, recorder=rec, algorithm=name)
     with rec.phase(name):
         if traversal == "color":
             _color_centric(graph, colors, sizes, g, choice, machine)
         else:
-            _vertex_centric(graph, colors, sizes, g, choice, machine, max_rounds)
+            _vertex_centric(graph, colors, sizes, g, choice, machine, max_rounds,
+                            plan=resolve_fault_plan(fault_plan), rec=rec,
+                            watchdog=watchdog)
 
     machine.trace.record_to(rec)
     if rec.enabled:
@@ -80,13 +95,11 @@ def parallel_shuffle_balance(
                   threads=machine.num_threads,
                   supersteps=machine.trace.num_supersteps,
                   conflicts=machine.trace.total_conflicts)
-    return Coloring(
-        colors,
-        C,
-        strategy=name,
-        meta={"trace": machine.trace, "gamma": g, "initial_strategy": initial.strategy,
-              **machine.trace.summary()},
-    )
+    meta = {"trace": machine.trace, "gamma": g,
+            "initial_strategy": initial.strategy, **machine.trace.summary()}
+    if watchdog.fired:
+        meta["watchdog_round"] = watchdog.fired_round
+    return Coloring(colors, C, strategy=name, meta=meta)
 
 
 def _pick_target(
@@ -115,7 +128,8 @@ def _pick_target(
     return int(candidates[np.argmin(sizes[candidates])]), reads
 
 
-def _vertex_centric(graph, colors, sizes, g, choice, machine: TickMachine, max_rounds):
+def _vertex_centric(graph, colors, sizes, g, choice, machine: TickMachine,
+                    max_rounds, *, plan, rec, watchdog):
     indptr, indices = graph.indptr, graph.indices
     overfull = np.nonzero(sizes > g)[0]
     work_list = np.nonzero(np.isin(colors, overfull))[0]
@@ -124,7 +138,12 @@ def _vertex_centric(graph, colors, sizes, g, choice, machine: TickMachine, max_r
     rounds = 0
     while work_list.shape[0]:
         rounds += 1
-        p = machine.num_threads if rounds <= max_rounds else 1
+        stick = plan.stick_active(rounds - 1)
+        if stick:
+            saved = (colors.copy(), sizes.copy(), prev_color.copy())
+            if rec.enabled:
+                rec.event("fault_injected", fault="stick", round=rounds - 1)
+        p = 1 if (watchdog.fired or rounds > max_rounds) else machine.num_threads
         record = machine.new_superstep()
         # hot counters this round: every under-full bin is read during
         # target scans and is a potential write target
@@ -157,6 +176,13 @@ def _vertex_centric(graph, colors, sizes, g, choice, machine: TickMachine, max_r
             if staged_v:
                 colors[staged_v] = staged_k  # tick boundary: plain writes commit
                 moved.extend(staged_v)
+        if stick:
+            # injected fault: the round's moves and counter updates are lost
+            colors[:], sizes[:], prev_color[:] = saved
+            record.conflicts = int(work_list.shape[0])
+            machine.trace.add(record)
+            watchdog.observe(int(work_list.shape[0]))
+            continue
         # detection phase: this round's movers rescan their adjacency
         for j, v in enumerate(moved):
             machine.charge(record, j % machine.num_threads, graph.degree(int(v)))
@@ -164,6 +190,7 @@ def _vertex_centric(graph, colors, sizes, g, choice, machine: TickMachine, max_r
         record.conflicts = int(retry.shape[0])
         machine.trace.add(record)
         work_list = retry
+        watchdog.observe(int(work_list.shape[0]))
 
 
 def _color_centric(graph, colors, sizes, g, choice, machine: TickMachine):

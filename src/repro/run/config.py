@@ -19,6 +19,7 @@ from ..coloring.balance import BalanceReport
 from ..coloring.strategies import MODES
 from ..coloring.types import Coloring
 from ..machine.model import MachineModel, TimeBreakdown
+from ..resilience import ON_FAILURE_POLICIES, FaultPlan
 
 __all__ = ["RunConfig", "RunResult"]
 
@@ -46,6 +47,13 @@ class RunConfig:
       (``"unit"`` class cardinality, ``"degree"`` class work).
     - ``strategy_kwargs``: extra options forwarded to the implementation
       (validated against the options it declares).
+    - ``on_failure``: what :func:`repro.run.execute` does when the post-run
+      invariant check fails — ``"raise"`` (default), ``"repair"`` (re-color
+      only the violating vertices sequentially), or ``"fallback"`` (re-run
+      the strategy's sequential implementation).
+    - ``fault_plan``: a :class:`repro.resilience.FaultPlan` (or its spec
+      string) injected into the execution for resilience testing; faults
+      replay bit-identically for equal plans and seeds.
     """
 
     strategy: str
@@ -58,6 +66,8 @@ class RunConfig:
     rounds: int = 1
     weight: str = "unit"
     strategy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    on_failure: str = "raise"
+    fault_plan: FaultPlan | str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -73,6 +83,21 @@ class RunConfig:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
         if self.weight not in ("unit", "degree"):
             raise ValueError(f"weight must be 'unit' or 'degree', got {self.weight!r}")
+        if self.on_failure not in ON_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_POLICIES}, "
+                f"got {self.on_failure!r}"
+            )
+        if isinstance(self.fault_plan, str):
+            # parse eagerly so typos fail at config time, not mid-run
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_spec(self.fault_plan)
+            )
+        elif self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan or spec string, "
+                f"got {type(self.fault_plan).__name__}"
+            )
         # freeze the kwargs mapping so the config stays value-like
         object.__setattr__(
             self, "strategy_kwargs", MappingProxyType(dict(self.strategy_kwargs))
@@ -89,8 +114,18 @@ class RunResult:
     machine's :class:`~repro.parallel.engine.ExecutionTrace` when the mode
     produced one (superstep modes only), and ``machine_time`` prices that
     trace on ``config.machine`` when both exist.  ``wall_s`` holds real
-    wall-clock phase timings (``initial`` / ``strategy`` / ``total``), and
-    ``recorder`` is whatever observability sink the run resolved to.
+    wall-clock phase timings (``initial`` / ``strategy`` / ``verify`` /
+    ``total``), and ``recorder`` is whatever observability sink the run
+    resolved to.
+
+    ``resilience`` summarizes the run's fault story: the post-run
+    invariant ``violations`` found (per kind) and how the ``on_failure``
+    policy resolved them (``repaired`` vertex count / ``fallback`` flag),
+    plus whatever the execution layer itself reported — injected /
+    detected / recovered ``faults``, the ``degraded`` flag and sequential
+    ``residual`` of the mp backend, and the superstep watchdog's
+    ``watchdog_round``.  A clean run reports empty violations and all-zero
+    counts, so the field is always present and comparable.
     """
 
     config: RunConfig
@@ -101,6 +136,7 @@ class RunResult:
     machine_time: TimeBreakdown | None
     wall_s: Mapping[str, float]
     recorder: Any
+    resilience: Mapping[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One human line: what ran and how balanced/fast it came out."""
@@ -119,4 +155,16 @@ class RunResult:
             machine = cfg.machine if isinstance(cfg.machine, str) else cfg.machine.name
             bits.append(f"model={self.machine_time.total_s * 1e3:.3f}ms on {machine}")
         bits.append(f"wall={self.wall_s['total']:.3f}s")
+        res = self.resilience
+        if res:
+            faults = res.get("faults") or {}
+            if faults.get("detected"):
+                bits.append(f"faults={faults['detected']}"
+                            f"(recovered={faults.get('recovered', 0)})")
+            if res.get("repaired"):
+                bits.append(f"repaired={res['repaired']}")
+            if res.get("fallback"):
+                bits.append("fallback=sequential")
+            if res.get("degraded"):
+                bits.append("degraded")
         return "  ".join(bits)

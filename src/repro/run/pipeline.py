@@ -14,8 +14,14 @@ now happens exactly once:
    accept a precomputed one);
 5. run the strategy with the normalized signature
    ``impl(graph, initial, *, threads, seed, recorder, **kwargs)``;
-6. assemble the :class:`~repro.run.config.RunResult`: balance stats,
-   execution trace, machine-time estimate, wall timings.
+6. verify the result's invariants (properness, coverage, color range,
+   bin-size consistency) and apply the config's ``on_failure`` policy —
+   raise, repair only the violating vertices, or fall back to the
+   strategy's sequential implementation (see :mod:`repro.resilience`);
+7. assemble the :class:`~repro.run.config.RunResult`: balance stats,
+   execution trace, machine-time estimate, wall timings, and the
+   resilience summary (faults injected/detected/recovered, degradations,
+   repairs).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from ..graph.csr import CSRGraph
 from ..machine import resolve_machine
 from ..machine.model import estimate_time
 from ..obs import as_recorder
+from ..resilience import heal
 from .config import RunConfig, RunResult
 
 __all__ = ["execute", "supported_runs"]
@@ -62,6 +69,15 @@ def _strategy_options(config: RunConfig, spec, impl) -> dict:
             )
     if config.backend is not None and "backend" in impl.accepts:
         kwargs.setdefault("backend", config.backend)
+    if config.fault_plan is not None:
+        if "fault_plan" in impl.accepts:
+            kwargs.setdefault("fault_plan", config.fault_plan)
+        else:
+            raise ValueError(
+                f"strategy {config.strategy!r} ({config.mode} mode) has no "
+                f"fault-injection points; accepted options: "
+                f"{sorted(impl.accepts)}"
+            )
     if spec.category == "ab_initio":
         if "ordering" in impl.accepts:
             kwargs.setdefault("ordering", config.ordering)
@@ -134,6 +150,19 @@ def execute(
                     recorder=rec, **kwargs)
     t2 = perf_counter()
 
+    # self-healing verification: audit the invariants every mode promises
+    # (properness, full coverage, palette range) and apply the on_failure
+    # policy; a clean check returns the coloring unchanged, so healthy
+    # runs stay bit-identical to the legacy direct calls.
+    strategy_meta = coloring.meta
+    coloring, report = heal(
+        graph, coloring, config.on_failure,
+        fallback=lambda: _sequential_fallback(graph, config, spec, initial,
+                                              strategy_seed, rec),
+        backend=config.backend, recorder=rec,
+    )
+    t3 = perf_counter()
+
     trace = coloring.meta.get("trace")
     machine_time = (
         estimate_time(trace, machine)
@@ -147,6 +176,40 @@ def execute(
         balance=balance_report(coloring),
         trace=trace,
         machine_time=machine_time,
-        wall_s={"initial": t1 - t0, "strategy": t2 - t1, "total": t2 - t0},
+        wall_s={"initial": t1 - t0, "strategy": t2 - t1, "verify": t3 - t2,
+                "total": t3 - t0},
         recorder=rec,
+        resilience={
+            "on_failure": config.on_failure,
+            "violations": report["violations"],
+            "repaired": report["repaired"],
+            "fallback": report["fallback"],
+            "faults": strategy_meta.get("faults"),
+            "degraded": bool(strategy_meta.get("degraded", False)),
+            "residual": int(strategy_meta.get("residual", 0)),
+            "watchdog_round": strategy_meta.get("watchdog_round"),
+        },
     )
+
+
+def _sequential_fallback(graph, config, spec, initial, strategy_seed, rec):
+    """The ``on_failure="fallback"`` safe path: the sequential reference.
+
+    Re-runs the same strategy's sequential implementation on the same
+    initial coloring and seed, forwarding only the cross-cutting options
+    that implementation declares (mode-specific ``strategy_kwargs`` like
+    ``partition`` or ``fault_plan`` deliberately do not follow — the
+    point of the fallback is a known-good deterministic path).
+    """
+    impl = spec.implementation("sequential")
+    kwargs: dict = {}
+    if config.backend is not None and "backend" in impl.accepts:
+        kwargs["backend"] = config.backend
+    if "rounds" in impl.accepts:
+        kwargs["rounds"] = config.rounds
+    if "weight" in impl.accepts:
+        kwargs["weight"] = config.weight
+    if spec.category == "ab_initio" and "ordering" in impl.accepts:
+        kwargs["ordering"] = config.ordering
+    return impl(graph, initial, threads=1, seed=strategy_seed,
+                recorder=rec, **kwargs)

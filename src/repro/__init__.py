@@ -33,6 +33,11 @@ Subpackages
     Table-I strategy in any supported mode (sequential / superstep / mp)
     through one pipeline — seeding, backend resolution, balance stats,
     and machine-time pricing included.
+``repro.serve``
+    Coloring-as-a-service on top of ``repro.run``: bounded job queue
+    with admission control, batching scheduler with in-flight dedup, a
+    content-addressed result cache (LRU + disk spill), and a stdlib
+    HTTP front (``python -m repro serve`` / ``submit``).
 """
 
 from .graph import CSRGraph, load_dataset

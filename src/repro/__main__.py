@@ -9,6 +9,9 @@ Examples::
     python -m repro table3 --trace table3.jsonl   # archive the event stream
     python -m repro run --strategy vff --mode superstep --threads 8 \
         --machine tilegx36 --trace out.jsonl      # one (strategy, mode) run
+    python -m repro serve --port 8734             # coloring-as-a-service
+    python -m repro submit --strategy vff --mode superstep --threads 8 \
+        --url http://127.0.0.1:8734               # client for 'serve'
 """
 
 from __future__ import annotations
@@ -81,9 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list", "run"],
+        choices=sorted(_EXPERIMENTS) + ["all", "list", "run", "serve", "submit"],
         help="which artifact to regenerate ('list' prints the catalog; "
-        "'run' executes one strategy through repro.run.execute)",
+        "'run' executes one strategy through repro.run.execute; 'serve' "
+        "starts the coloring service; 'submit' is its HTTP client)",
     )
     parser.add_argument("--scale", type=float, default=0.25,
                         help="input stand-in scale (default 0.25)")
@@ -133,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mp mode: per-block collection timeout — a dead or "
                      "hung worker is detected after at most this long "
                      "(default 60)")
+
+    serve = parser.add_argument_group(
+        "serve options (python -m repro serve / submit)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for 'serve' (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="TCP port for 'serve' (default 8734; 0 picks a "
+                       "free port)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="scheduler worker-pool width for non-mp jobs "
+                       "(default 1 = fully sequential)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       dest="max_pending", metavar="N",
+                       help="admission bound: jobs in flight before submits "
+                       "are rejected with 429 (default 1024)")
+    serve.add_argument("--cache-mb", type=float, default=None, dest="cache_mb",
+                       metavar="MB",
+                       help="in-memory result-cache budget in MiB (default 64)")
+    serve.add_argument("--spill-dir", type=Path, default=None, dest="spill_dir",
+                       metavar="DIR",
+                       help="spill evicted colorings as .npz under DIR and "
+                       "restore them on later hits")
+    serve.add_argument("--url", default="http://127.0.0.1:8734",
+                       help="service base URL for 'submit' "
+                       "(default http://127.0.0.1:8734)")
+    serve.add_argument("--no-wait", action="store_true", dest="no_wait",
+                       help="'submit': print the job id and return without "
+                       "polling for the result")
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       help="'submit': seconds to wait for the result "
+                       "(default 60)")
     return parser
 
 
@@ -183,6 +218,80 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _serve_command(args) -> int:
+    """Start the coloring service and block until interrupted."""
+    from .serve import DEFAULT_MAX_BYTES, DEFAULT_MAX_PENDING, ColoringService
+    from .serve.api import make_server
+
+    max_bytes = (int(args.cache_mb * 1024 * 1024) if args.cache_mb is not None
+                 else DEFAULT_MAX_BYTES)
+    try:
+        service = ColoringService(
+            max_pending=args.max_pending if args.max_pending is not None
+            else DEFAULT_MAX_PENDING,
+            max_bytes=max_bytes, spill_dir=args.spill_dir,
+            workers=args.workers,
+        )
+        server = make_server(service, host=args.host, port=args.port)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    service.start()
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(workers={args.workers}, cache={max_bytes // (1024 * 1024)}MiB, "
+          f"spill={args.spill_dir or 'off'})", flush=True)
+    print("endpoints: POST /submit  GET /result/<id>  GET /stats  GET /healthz",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
+def _submit_command(args, parser: argparse.ArgumentParser) -> int:
+    """Submit one job to a running service and (by default) await it."""
+    from .serve.api import submit_job, wait_for_result
+
+    if args.strategy is None:
+        parser.error("'submit' requires --strategy (see 'python -m repro list')")
+    config = {
+        "strategy": args.strategy, "mode": args.mode, "threads": args.threads,
+        "machine": args.machine, "backend": args.backend,
+        "ordering": args.ordering, "seed": args.seed, "rounds": args.rounds,
+        "weight": args.weight, "on_failure": args.on_failure,
+        "fault_plan": args.fault_plan,
+    }
+    payload = {"input": args.input, "scale": args.scale, "seed": args.seed,
+               "config": config}
+    try:
+        reply = submit_job(args.url, payload)
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if "error" in reply:
+        print(f"rejected: {reply['error']}", file=sys.stderr)
+        return 1
+    print(f"job {reply['job_id']} submitted (key {reply['key'][:16]}…)")
+    if args.no_wait:
+        return 0
+    try:
+        result = wait_for_result(args.url, reply["job_id"], timeout=args.timeout)
+    except (OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.get("status") == "failed":
+        print(f"job failed: {result.get('error')}", file=sys.stderr)
+        return 1
+    print(f"done via {result['source']}: C={result['num_colors']} "
+          f"n={result['num_vertices']} rsd={result['rsd_percent']:.2f}%")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -192,6 +301,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "run":
         return _run_command(args, parser)
+    if args.experiment == "serve":
+        return _serve_command(args)
+    if args.experiment == "submit":
+        return _submit_command(args, parser)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     report_chunks: list[str] = []
     from .experiments import traced_run

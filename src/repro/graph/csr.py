@@ -12,6 +12,7 @@ produce new arrays (colorings, community assignments) indexed by vertex.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 import numpy as np
@@ -38,13 +39,14 @@ class CSRGraph:
     a simple graph (a self-loop would make a vertex uncolorable).
     """
 
-    __slots__ = ("indptr", "indices", "_degrees", "_edge_arrays")
+    __slots__ = ("indptr", "indices", "_degrees", "_edge_arrays", "_fingerprint")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self._degrees: np.ndarray | None = None
         self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._fingerprint: str | None = None
         if validate:
             self.check()
 
@@ -168,6 +170,24 @@ class CSRGraph:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, max_deg={self.max_degree})"
 
+    def fingerprint(self) -> str:
+        """Stable full-content digest (hex SHA-256), cached after first call.
+
+        Covers the complete ``indptr`` and ``indices`` arrays plus a
+        format tag, so two graphs share a fingerprint iff their CSR
+        content is byte-identical.  Independent of process, platform, and
+        ``PYTHONHASHSEED`` — it is the graph half of the serving layer's
+        content-addressed cache keys (see :mod:`repro.serve.fingerprint`).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(b"CSRGraph/v1")
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented
@@ -176,4 +196,8 @@ class CSRGraph:
         )
 
     def __hash__(self) -> int:
-        return hash((self.num_vertices, self.num_edges, self.indices.tobytes()[:256]))
+        # Full-content digest, not a prefix: large graphs that differ only
+        # past the first bytes of ``indices`` must not collide.  Cached, so
+        # repeated hashing is O(1) after the first call, and consistent
+        # with __eq__ (equal arrays => equal digest).
+        return int.from_bytes(bytes.fromhex(self.fingerprint()[:16]), "big")

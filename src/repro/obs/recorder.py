@@ -31,6 +31,7 @@ call chains (the experiment functions) need no recorder plumbing.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -75,6 +76,12 @@ class Recorder:
     Purely observational: attaching a recorder never changes the results
     of the instrumented computation (the test-suite checks colorings are
     identical with and without one).
+
+    Events, counters, and gauges are thread-safe — the serving layer's
+    worker pool counts cache hits and job completions from several
+    threads into one recorder.  :meth:`phase` keeps a single shared stack,
+    so *nesting* phases from concurrent threads interleaves their paths;
+    time concurrent sections from one thread (or one recorder) each.
     """
 
     enabled = True
@@ -83,6 +90,7 @@ class Recorder:
         self._clock = clock
         self._t0 = clock()
         self._seq = 0
+        self._lock = threading.RLock()
         self._phase_stack: list[str] = []
         self.events: list[dict] = []
         self.counters: dict[str, float] = {}
@@ -97,12 +105,13 @@ class Recorder:
         the recorder was created), ``kind``, and — when emitted inside a
         :meth:`phase` — the full ``phase`` path.
         """
-        self._seq += 1
-        ev: dict = {"seq": self._seq, "t": self._clock() - self._t0, "kind": kind}
-        if self._phase_stack:
-            ev["phase"] = "/".join(self._phase_stack)
-        ev.update(fields)
-        self.events.append(ev)
+        with self._lock:
+            self._seq += 1
+            ev: dict = {"seq": self._seq, "t": self._clock() - self._t0, "kind": kind}
+            if self._phase_stack:
+                ev["phase"] = "/".join(self._phase_stack)
+            ev.update(fields)
+            self.events.append(ev)
         return ev
 
     def events_of(self, kind: str) -> list[dict]:
@@ -111,19 +120,22 @@ class Recorder:
 
     # -- scalars --------------------------------------------------------
     def count(self, name: str, value: int | float = 1) -> None:
-        """Add *value* to the named monotone counter."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        """Add *value* to the named monotone counter (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value) -> None:
-        """Set the named gauge to *value* (last write wins)."""
-        self.gauges[name] = value
+        """Set the named gauge to *value* (last write wins; thread-safe)."""
+        with self._lock:
+            self.gauges[name] = value
 
     # -- phases ---------------------------------------------------------
     @contextmanager
     def phase(self, name: str):
         """Time a named section; nests, and events inside carry the path."""
-        self._phase_stack.append(name)
-        path = "/".join(self._phase_stack)
+        with self._lock:
+            self._phase_stack.append(name)
+            path = "/".join(self._phase_stack)
         self.event("phase_start", name=path)
         start = self._clock()
         try:
@@ -131,18 +143,20 @@ class Recorder:
         finally:
             elapsed = self._clock() - start
             self.event("phase_end", name=path, seconds=elapsed)
-            self._phase_stack.pop()
-            self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + elapsed
+            with self._lock:
+                self._phase_stack.pop()
+                self.phase_seconds[path] = self.phase_seconds.get(path, 0.0) + elapsed
 
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-ready dict of everything collected so far."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "phase_seconds": dict(self.phase_seconds),
-            "num_events": len(self.events),
-        }
+        """JSON-ready dict of everything collected so far (consistent view)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "phase_seconds": dict(self.phase_seconds),
+                "num_events": len(self.events),
+            }
 
     def summary(self) -> str:
         """Human-readable run summary: phases, counters, gauges."""

@@ -11,7 +11,7 @@ each concrete function.  :func:`repro.run.execute` turns a config into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from types import MappingProxyType
 from typing import Any, Mapping
 
@@ -22,6 +22,31 @@ from ..machine.model import MachineModel, TimeBreakdown
 from ..resilience import ON_FAILURE_POLICIES, FaultPlan
 
 __all__ = ["RunConfig", "RunResult"]
+
+
+_JSON_SCALARS = (type(None), bool, int, float, str)
+
+
+def _check_json_ready(value, path: str) -> None:
+    """Reject values that would not survive a JSON round-trip, by name."""
+    if isinstance(value, _JSON_SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_json_ready(item, f"{path}[{i}]")
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"{path} key {key!r} must be a string to serialize"
+                )
+            _check_json_ready(item, f"{path}[{key!r}]")
+        return
+    raise ValueError(
+        f"{path} holds a {type(value).__name__}, which does not survive a "
+        "JSON round-trip; use plain ints/floats/strings/lists/dicts"
+    )
 
 
 @dataclass(frozen=True)
@@ -102,6 +127,130 @@ class RunConfig:
         object.__setattr__(
             self, "strategy_kwargs", MappingProxyType(dict(self.strategy_kwargs))
         )
+
+    # ------------------------------------------------------------------
+    # serialization (cache keys, submit API, archival)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON dict that :meth:`from_dict` restores exactly.
+
+        Every field is reduced to JSON scalars/containers: a
+        :class:`~repro.machine.model.MachineModel` becomes its registry
+        name, a :class:`~repro.resilience.FaultPlan` its spec string (plus
+        its corruption seed when non-zero).  Values that cannot survive
+        the round-trip — a custom machine instance, a non-JSON seed or
+        strategy kwarg — raise ``ValueError`` naming the offending field,
+        so cache keys and submit payloads never silently lose information.
+        """
+        machine = self.machine
+        if isinstance(machine, MachineModel):
+            from ..machine import MACHINES
+
+            if machine.name not in MACHINES:
+                raise ValueError(
+                    f"machine {machine.name!r} is not a registry model; "
+                    "a custom MachineModel instance cannot be serialized — "
+                    "pass its registry name instead"
+                )
+            machine = machine.name
+        _check_json_ready(self.seed, "seed")
+        _check_json_ready(dict(self.strategy_kwargs), "strategy_kwargs")
+        plan = self.fault_plan
+        if isinstance(plan, FaultPlan):
+            plan = (plan.to_spec() if plan.seed == 0
+                    else {"spec": plan.to_spec(), "seed": plan.seed})
+        return {
+            "strategy": self.strategy,
+            "mode": self.mode,
+            "threads": self.threads,
+            "machine": machine,
+            "backend": self.backend,
+            "ordering": self.ordering,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "weight": self.weight,
+            "strategy_kwargs": dict(self.strategy_kwargs),
+            "on_failure": self.on_failure,
+            "fault_plan": plan,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; validation errors name the field.
+
+        Missing optional fields take their dataclass defaults, so partial
+        dicts (e.g. a submit-API payload carrying only ``strategy`` and
+        ``seed``) are accepted; unknown keys are rejected by name rather
+        than silently dropped.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"RunConfig.from_dict needs a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        if "strategy" not in data:
+            raise ValueError("RunConfig.from_dict requires a 'strategy' field")
+        kwargs = dict(data)
+        for name, types in (
+            ("strategy", str), ("mode", str), ("ordering", str),
+            ("weight", str), ("on_failure", str),
+        ):
+            if name in kwargs and not isinstance(kwargs[name], types):
+                raise ValueError(
+                    f"field {name!r} must be a string, "
+                    f"got {type(kwargs[name]).__name__}"
+                )
+        for name in ("threads", "rounds"):
+            if name in kwargs and (
+                isinstance(kwargs[name], bool) or not isinstance(kwargs[name], int)
+            ):
+                raise ValueError(
+                    f"field {name!r} must be an int, "
+                    f"got {type(kwargs[name]).__name__}"
+                )
+        for name in ("machine", "backend"):
+            if kwargs.get(name) is not None and not isinstance(kwargs[name], str):
+                raise ValueError(
+                    f"field {name!r} must be a string or null, "
+                    f"got {type(kwargs[name]).__name__}"
+                )
+        sk = kwargs.get("strategy_kwargs", {})
+        if not isinstance(sk, Mapping):
+            raise ValueError(
+                f"field 'strategy_kwargs' must be a mapping, "
+                f"got {type(sk).__name__}"
+            )
+        plan = kwargs.get("fault_plan")
+        if isinstance(plan, Mapping):
+            extra = sorted(set(plan) - {"spec", "seed"})
+            if extra or "spec" not in plan:
+                raise ValueError(
+                    "field 'fault_plan' mapping must have keys "
+                    f"{{'spec', 'seed'}}, got {sorted(plan)}"
+                )
+            try:
+                kwargs["fault_plan"] = FaultPlan.from_spec(
+                    plan["spec"], seed=int(plan.get("seed", 0))
+                )
+            except ValueError as exc:
+                raise ValueError(f"field 'fault_plan': {exc}") from None
+        elif isinstance(plan, str):
+            try:
+                kwargs["fault_plan"] = FaultPlan.from_spec(plan)
+            except ValueError as exc:
+                raise ValueError(f"field 'fault_plan': {exc}") from None
+        elif plan is not None:
+            raise ValueError(
+                f"field 'fault_plan' must be a spec string, a "
+                f"{{'spec', 'seed'}} mapping, or null, got {type(plan).__name__}"
+            )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,59 @@
+"""Coloring-as-a-service: job queue, batching scheduler, result cache.
+
+The serving subsystem turns :func:`repro.run.execute` into a front door
+for many concurrent clients without paying the full coloring cost for
+every request:
+
+- :mod:`repro.serve.fingerprint` — content-addressed job identity
+  (full-graph digest × canonical config serialization);
+- :mod:`repro.serve.cache` — :class:`ResultCache`, an in-memory LRU
+  under a byte budget with optional ``.npz`` disk spill;
+- :mod:`repro.serve.queue` — :class:`SubmissionQueue` with admission
+  control and reject-with-reason backpressure;
+- :mod:`repro.serve.scheduler` — :class:`BatchScheduler`: per-round
+  cache lookup, in-flight dedup, compatible grouping, worker-pool
+  dispatch under the job's resilience policy;
+- :mod:`repro.serve.service` — :class:`ColoringService`, the in-process
+  façade (``submit`` / ``result`` / ``stats`` / ``healthz``);
+- :mod:`repro.serve.api` — the stdlib HTTP front and the
+  ``python -m repro submit`` client helpers.
+
+Everything is drivable in-process with no sockets, and identical
+submissions produce bit-identical colorings whether computed, deduped,
+or served from cache.  See DESIGN.md §11::
+
+    from repro.serve import ColoringService
+    from repro.run import RunConfig
+
+    svc = ColoringService()
+    job = svc.submit(graph, RunConfig("vff", seed=0))
+    svc.process()
+    print(svc.result(job.id).result.summary(), svc.stats()["cache"])
+"""
+
+from .cache import DEFAULT_MAX_BYTES, ResultCache
+from .fingerprint import config_fingerprint, graph_fingerprint, job_key
+from .queue import (
+    DEFAULT_MAX_PENDING,
+    JOB_STATES,
+    AdmissionError,
+    Job,
+    SubmissionQueue,
+)
+from .scheduler import BatchScheduler
+from .service import ColoringService
+
+__all__ = [
+    "AdmissionError",
+    "BatchScheduler",
+    "ColoringService",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_PENDING",
+    "JOB_STATES",
+    "Job",
+    "ResultCache",
+    "SubmissionQueue",
+    "config_fingerprint",
+    "graph_fingerprint",
+    "job_key",
+]

@@ -1,0 +1,196 @@
+"""Thin stdlib HTTP front for the coloring service, plus client helpers.
+
+The protocol is deliberately small and JSON-only:
+
+- ``POST /submit`` — body ``{"input": name, "scale": s, "seed": gseed,
+  "config": {RunConfig.to_dict()}}``; loads the named dataset stand-in,
+  validates the config, and admits a job.  Replies ``202`` with
+  ``{"job_id", "key", "status"}``, ``400`` for malformed requests, or
+  ``429`` with the admission reason under backpressure.
+- ``GET /result/<id>[?colors=1]`` — job lifecycle summary (``404`` for
+  unknown ids); once done, balance/color counts, and the full coloring
+  array when ``colors=1`` is asked for.
+- ``GET /stats`` — the service's merged queue/scheduler/cache counters.
+- ``GET /healthz`` — liveness and backlog.
+
+Routing lives in the socketless :func:`dispatch` function so the whole
+protocol is unit-testable in-process; :class:`ServeHandler` merely
+bridges it onto :class:`http.server.ThreadingHTTPServer`.  The client
+half (:func:`submit_job`, :func:`fetch_json`, :func:`wait_for_result`)
+uses only :mod:`urllib`, so ``python -m repro submit`` needs no
+third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..graph.datasets import DATASETS, load_dataset
+from ..run.config import RunConfig
+from .queue import AdmissionError
+from .service import ColoringService
+
+__all__ = ["ServeHandler", "dispatch", "fetch_json", "make_server",
+           "submit_job", "wait_for_result"]
+
+
+# ----------------------------------------------------------------------
+# socketless routing core
+# ----------------------------------------------------------------------
+def dispatch(service: ColoringService, method: str, path: str,
+             body: dict | None = None) -> tuple[int, dict]:
+    """Route one request; returns ``(http_status, json_payload)``.
+
+    Pure function of the service and the request — no sockets, no
+    threads — so tests drive the full protocol deterministically.
+    """
+    split = urlsplit(path)
+    route = split.path.rstrip("/") or "/"
+    query = parse_qs(split.query)
+
+    if method == "POST" and route == "/submit":
+        return _submit(service, body or {})
+    if method == "GET" and route.startswith("/result/"):
+        return _result(service, route[len("/result/"):], query)
+    if method == "GET" and route == "/stats":
+        return 200, service.stats()
+    if method == "GET" and route == "/healthz":
+        return 200, service.healthz()
+    return 404, {"error": f"no route for {method} {route}"}
+
+
+def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
+    if not isinstance(body, dict):
+        return 400, {"error": "submit body must be a JSON object"}
+    unknown = sorted(set(body) - {"input", "scale", "seed", "config"})
+    if unknown:
+        return 400, {"error": f"unknown submit field(s) {unknown}; expected "
+                              "input/scale/seed/config"}
+    name = body.get("input", "cnr")
+    if name not in DATASETS:
+        return 400, {"error": f"unknown input {name!r}; choose from "
+                              f"{sorted(DATASETS)}"}
+    try:
+        scale = float(body.get("scale", 0.25))
+        graph_seed = int(body.get("seed", 0))
+    except (TypeError, ValueError):
+        return 400, {"error": "scale must be a number and seed an int"}
+    try:
+        config = RunConfig.from_dict(body.get("config", {}))
+        graph = load_dataset(name, scale=scale, seed=graph_seed)
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    try:
+        job = service.submit(graph, config)
+    except AdmissionError as exc:
+        status = 429 if exc.reason.startswith("queue full") else 400
+        return status, {"error": exc.reason}
+    return 202, {"job_id": job.id, "key": job.key, "status": job.status}
+
+
+def _result(service: ColoringService, id_text: str, query: dict) -> tuple[int, dict]:
+    try:
+        job_id = int(id_text)
+    except ValueError:
+        return 400, {"error": f"job id must be an integer, got {id_text!r}"}
+    job = service.result(job_id)
+    if job is None:
+        return 404, {"error": f"unknown job id {job_id}"}
+    payload = job.describe()
+    if query.get("colors", ["0"])[-1] in ("1", "true") and job.result is not None:
+        payload["colors"] = job.result.coloring.colors.tolist()
+    return 200, payload
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+class ServeHandler(BaseHTTPRequestHandler):
+    """One-request bridge from ``http.server`` onto :func:`dispatch`."""
+
+    service: ColoringService  # set by make_server on the subclass
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service's recorder is the observability channel
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        status, payload = dispatch(self.service, "GET", self.path)
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"malformed JSON body: {exc}"})
+            return
+        status, payload = dispatch(self.service, "POST", self.path, body)
+        self._reply(status, payload)
+
+
+def make_server(service: ColoringService, host: str = "127.0.0.1",
+                port: int = 8734) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to *service* (``port=0`` picks a free one).
+
+    The caller owns both lifecycles: ``service.start()`` for the
+    scheduling pump and ``server.serve_forever()`` for the socket loop.
+    """
+    handler = type("BoundServeHandler", (ServeHandler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+# ----------------------------------------------------------------------
+# client helpers (python -m repro submit)
+# ----------------------------------------------------------------------
+def fetch_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
+    """GET ``base_url + path`` and decode the JSON reply (errors included)."""
+    req = urllib.request.Request(base_url.rstrip("/") + path)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode("utf-8"))
+
+
+def submit_job(base_url: str, payload: dict, timeout: float = 10.0) -> dict:
+    """POST one submit *payload*; returns the decoded JSON reply."""
+    data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        base_url.rstrip("/") + "/submit", data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode("utf-8"))
+
+
+def wait_for_result(base_url: str, job_id: int, *, timeout: float = 60.0,
+                    poll_s: float = 0.05) -> dict:
+    """Poll ``/result/<id>`` until the job is terminal or *timeout* expires."""
+    deadline = time.monotonic() + timeout
+    while True:
+        payload = fetch_json(base_url, f"/result/{job_id}")
+        if payload.get("status") in ("done", "failed") or "error" in payload:
+            return payload
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} still {payload.get('status')!r} after {timeout}s"
+            )
+        time.sleep(poll_s)

@@ -1,0 +1,228 @@
+"""Content-addressed result cache: in-memory LRU with on-disk spill.
+
+The cache maps :func:`~repro.serve.fingerprint.job_key` digests to
+:class:`~repro.run.RunResult` objects.  Hot entries live in memory under
+a byte-size budget (the coloring arrays dominate, so accounting follows
+``ndarray.nbytes``); when the budget overflows, least-recently-used
+entries are evicted — and, when a ``spill_dir`` is configured, their
+colorings are written as ``<key>.npz`` first, so a later ``get`` can
+restore the result from disk instead of recomputing.
+
+A disk-restored result carries the bit-identical coloring (and initial
+coloring) plus a recomputed balance report; the transient run artifacts
+(execution trace, machine-time estimate, wall timings) are not persisted
+— ``meta["served_from"] == "disk"`` marks such results.
+
+Hit/miss/eviction/spill counters are exported through :mod:`repro.obs`:
+every operation counts into the recorder passed at construction (resolved
+via :func:`repro.obs.as_recorder`, so the process-installed recorder is
+honored) under ``serve.cache.*`` names, and :meth:`ResultCache.stats`
+returns the same numbers as a plain dict.
+
+All operations are thread-safe — the batching scheduler's worker pool
+publishes results concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..coloring.balance import balance_report
+from ..coloring.types import Coloring
+from ..obs import NULL, as_recorder
+from ..run.config import RunConfig, RunResult
+
+__all__ = ["DEFAULT_MAX_BYTES", "ResultCache"]
+
+#: Default in-memory budget: generous for colorings (64 MiB ≈ 8M vertices).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Fixed per-entry overhead charged on top of the array payload.
+_ENTRY_OVERHEAD = 512
+
+
+def _entry_bytes(result: RunResult) -> int:
+    """Byte cost of one cached result (coloring arrays + fixed overhead)."""
+    cost = _ENTRY_OVERHEAD + result.coloring.colors.nbytes
+    if result.initial is not None:
+        cost += result.initial.colors.nbytes
+    return cost
+
+
+class ResultCache:
+    """LRU result cache keyed by content digest, with optional disk spill.
+
+    Parameters
+    ----------
+    max_bytes:
+        In-memory budget; entries are evicted LRU-first once the resident
+        payload exceeds it.  An entry larger than the whole budget is
+        admitted and immediately spilled/evicted, never pinned.
+    spill_dir:
+        When set, evicted colorings are written as ``<key>.npz`` under
+        this directory (created on demand) and restored on later misses.
+    recorder:
+        Observability sink for the ``serve.cache.*`` counters; resolves
+        like every other ``recorder=`` argument in the codebase.
+    """
+
+    def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES,
+                 spill_dir: str | Path | None = None, recorder=None):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._rec = as_recorder(recorder)
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[str, tuple[RunResult, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._spills = 0
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> RunResult | None:
+        """Return the cached result for *key*, or ``None`` on a miss.
+
+        Memory first (refreshing recency), then the spill directory; a
+        disk hit is re-admitted to memory so repeated access stays fast.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                self._rec.count("serve.cache.hits")
+                return entry[0]
+        restored = self._load_spilled(key)
+        with self._lock:
+            if restored is not None:
+                self._hits += 1
+                self._disk_hits += 1
+                self._rec.count("serve.cache.hits")
+                self._rec.count("serve.cache.disk_hits")
+                self._admit(key, restored)
+                return restored
+            self._misses += 1
+            self._rec.count("serve.cache.misses")
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Insert (or refresh) *key* → *result* and enforce the budget."""
+        if not isinstance(result, RunResult):
+            raise TypeError(
+                f"ResultCache stores RunResult objects, got {type(result).__name__}"
+            )
+        with self._lock:
+            self._admit(key, result)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        path = self._spill_path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (spilled files are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits/misses/evictions/spills plus occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "disk_hits": self._disk_hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "spills": self._spills,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }
+
+    # ------------------------------------------------------------------
+    # internals (callers hold the lock unless noted)
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, result: RunResult) -> None:
+        if key in self._entries:
+            self._bytes -= self._entries.pop(key)[1]
+        cost = _entry_bytes(result)
+        self._entries[key] = (result, cost)
+        self._bytes += cost
+        while self._bytes > self.max_bytes and self._entries:
+            old_key, (old_result, old_cost) = self._entries.popitem(last=False)
+            self._bytes -= old_cost
+            self._evictions += 1
+            self._rec.count("serve.cache.evictions")
+            self._spill(old_key, old_result)
+
+    def _spill_path(self, key: str) -> Path | None:
+        if self.spill_dir is None:
+            return None
+        return self.spill_dir / f"{key}.npz"
+
+    def _spill(self, key: str, result: RunResult) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        try:
+            config_json = json.dumps(result.config.to_dict(), sort_keys=True)
+        except ValueError:
+            return  # unserializable config: evict without persisting
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "colors": result.coloring.colors,
+            "num_colors": np.int64(result.coloring.num_colors),
+            "strategy": np.str_(result.coloring.strategy),
+            "config": np.str_(config_json),
+        }
+        if result.initial is not None:
+            payload["initial_colors"] = result.initial.colors
+            payload["initial_num_colors"] = np.int64(result.initial.num_colors)
+            payload["initial_strategy"] = np.str_(result.initial.strategy)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        tmp.replace(path)  # atomic publish: readers never see partial files
+        self._spills += 1
+        self._rec.count("serve.cache.spills")
+
+    def _load_spilled(self, key: str) -> RunResult | None:
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return None
+        with np.load(path, allow_pickle=False) as npz:
+            config = RunConfig.from_dict(json.loads(str(npz["config"])))
+            coloring = Coloring(
+                npz["colors"], int(npz["num_colors"]), str(npz["strategy"]),
+                meta={"served_from": "disk"},
+            )
+            initial = None
+            if "initial_colors" in npz:
+                initial = Coloring(
+                    npz["initial_colors"], int(npz["initial_num_colors"]),
+                    str(npz["initial_strategy"]),
+                    meta={"served_from": "disk"},
+                )
+        return RunResult(
+            config=config, coloring=coloring, initial=initial,
+            balance=balance_report(coloring), trace=None, machine_time=None,
+            wall_s={"initial": 0.0, "strategy": 0.0, "verify": 0.0, "total": 0.0},
+            recorder=NULL, resilience={},
+        )

@@ -1,0 +1,66 @@
+"""Content-addressed identity for coloring jobs.
+
+A job is fully determined by its input graph and its
+:class:`~repro.run.RunConfig`: ``execute`` is deterministic for a fixed
+seed, so two jobs with equal content must produce bit-identical
+colorings.  This module turns that observation into stable keys:
+
+- :func:`graph_fingerprint` — the graph half, delegating to the cached
+  :meth:`repro.graph.CSRGraph.fingerprint` full-content SHA-256 digest
+  (complete ``indptr`` and ``indices``, never a prefix);
+- :func:`config_fingerprint` — the config half, a SHA-256 of the
+  canonical JSON serialization of :meth:`RunConfig.to_dict` (sorted keys,
+  fixed separators), so dict ordering and whitespace never matter;
+- :func:`job_key` — the combined cache key used by the result cache and
+  the in-flight deduplication of the scheduler.
+
+All digests are pure content hashes — independent of process, platform,
+object identity, and ``PYTHONHASHSEED`` — so a key computed by a client
+in one process addresses the same cache entry in the server, and an
+on-disk spill written by one service run is readable by the next.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..graph.csr import CSRGraph
+from ..run.config import RunConfig
+
+__all__ = ["config_fingerprint", "graph_fingerprint", "job_key"]
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Hex SHA-256 of the graph's full CSR content (cached on the graph)."""
+    if not isinstance(graph, CSRGraph):
+        raise TypeError(
+            f"graph_fingerprint needs a CSRGraph, got {type(graph).__name__}"
+        )
+    return graph.fingerprint()
+
+
+def config_fingerprint(config: RunConfig) -> str:
+    """Hex SHA-256 of the config's canonical JSON serialization.
+
+    Raises ``ValueError`` (naming the field) for configs that cannot be
+    serialized — a custom machine instance, a non-JSON seed — because an
+    unserializable config has no stable identity to cache under.
+    """
+    if not isinstance(config, RunConfig):
+        raise TypeError(
+            f"config_fingerprint needs a RunConfig, got {type(config).__name__}"
+        )
+    canonical = json.dumps(config.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def job_key(graph: CSRGraph, config: RunConfig) -> str:
+    """The content-addressed cache key for one (graph, config) job."""
+    h = hashlib.sha256()
+    h.update(b"repro.serve/job/v1:")
+    h.update(graph_fingerprint(graph).encode("ascii"))
+    h.update(b":")
+    h.update(config_fingerprint(config).encode("ascii"))
+    return h.hexdigest()

@@ -1,0 +1,214 @@
+"""Job admission: the bounded submission queue in front of the scheduler.
+
+A :class:`Job` is one client request — a (graph, config) pair plus its
+content-addressed key and lifecycle state.  The :class:`SubmissionQueue`
+is the only way jobs enter the system, and it enforces *admission
+control*: structurally invalid requests (unknown strategy, unsupported
+(strategy, mode) pair) and overload (more pending jobs than the bound)
+are rejected **at submit time** with a human-readable reason carried by
+:class:`AdmissionError` — backpressure is an explicit, countable signal,
+never a silent drop or an unbounded backlog.
+
+The queue is thread-safe: the HTTP front end submits from handler
+threads while the scheduler drains from its own.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..coloring.strategies import STRATEGIES
+from ..graph.csr import CSRGraph
+from ..run.config import RunConfig, RunResult
+from .fingerprint import job_key
+
+__all__ = ["AdmissionError", "DEFAULT_MAX_PENDING", "JOB_STATES", "Job",
+           "SubmissionQueue"]
+
+#: Lifecycle states a job moves through (strictly forward).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default bound on jobs admitted but not yet resolved.
+DEFAULT_MAX_PENDING = 1024
+
+
+class AdmissionError(RuntimeError):
+    """A submission the queue refused; ``reason`` says why."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class Job:
+    """One admitted coloring request and its resolution.
+
+    ``source`` records how the job was ultimately served: ``"computed"``
+    (a real ``execute`` call), ``"dedup"`` (attached to an identical
+    in-flight job's computation), or ``"cache"`` (memory or disk hit).
+    Exactly one of ``result`` / ``error`` is set once ``status`` reaches
+    a terminal state (``done`` / ``failed``).
+    """
+
+    id: int
+    key: str
+    graph: CSRGraph
+    config: RunConfig
+    status: str = "queued"
+    source: str | None = None
+    result: RunResult | None = None
+    error: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def describe(self) -> dict:
+        """JSON-ready lifecycle summary (the ``/result`` endpoint's core)."""
+        info = {
+            "id": self.id,
+            "key": self.key,
+            "status": self.status,
+            "source": self.source,
+            "strategy": self.config.strategy,
+            "mode": self.config.mode,
+        }
+        if self.error is not None:
+            info["error"] = self.error
+        if self.result is not None:
+            info["num_colors"] = int(self.result.coloring.num_colors)
+            info["num_vertices"] = int(self.result.coloring.num_vertices)
+            info["rsd_percent"] = float(self.result.balance.rsd_percent)
+        return info
+
+
+class SubmissionQueue:
+    """Bounded FIFO of admitted jobs, with by-id lookup of every job ever.
+
+    Parameters
+    ----------
+    max_pending:
+        Admission bound: jobs admitted but not yet terminal.  A full
+        queue rejects with a reason naming both the backlog and the
+        limit, so clients can distinguish overload from bad requests.
+    """
+
+    def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = int(max_pending)
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._pending: deque[Job] = deque()
+        self._jobs: dict[int, Job] = {}
+        self._in_flight = 0  # admitted, not yet terminal
+        self._submitted = 0
+        self._rejected = 0
+        self._rejected_full = 0
+        self._rejected_invalid = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, graph: CSRGraph, config: RunConfig) -> Job:
+        """Admit one job or raise :class:`AdmissionError` with a reason.
+
+        Validation happens before the key is computed so malformed
+        requests are cheap to refuse; the backlog check is last, so an
+        invalid request never occupies a queue slot.
+        """
+        reason = self._validate(graph, config)
+        if reason is not None:
+            with self._lock:
+                self._rejected += 1
+                self._rejected_invalid += 1
+            raise AdmissionError(reason)
+        key = job_key(graph, config)
+        with self._lock:
+            if self._in_flight >= self.max_pending:
+                self._rejected += 1
+                self._rejected_full += 1
+                raise AdmissionError(
+                    f"queue full: {self._in_flight} jobs in flight "
+                    f"(limit {self.max_pending}); retry later"
+                )
+            job = Job(id=next(self._ids), key=key, graph=graph, config=config)
+            self._pending.append(job)
+            self._jobs[job.id] = job
+            self._in_flight += 1
+            self._submitted += 1
+            return job
+
+    @staticmethod
+    def _validate(graph: CSRGraph, config: RunConfig) -> str | None:
+        if not isinstance(graph, CSRGraph):
+            return f"graph must be a CSRGraph, got {type(graph).__name__}"
+        if not isinstance(config, RunConfig):
+            return f"config must be a RunConfig, got {type(config).__name__}"
+        spec = STRATEGIES.get(config.strategy)
+        if spec is None:
+            return (f"unknown strategy {config.strategy!r}; choose from "
+                    f"{sorted(STRATEGIES)}")
+        if config.mode not in spec.modes:
+            return (f"strategy {config.strategy!r} does not support mode "
+                    f"{config.mode!r}; supported: {list(spec.modes)}")
+        try:
+            # a config that cannot serialize has no cache identity
+            config.to_dict()
+        except ValueError as exc:
+            return f"config is not serializable: {exc}"
+        return None
+
+    # ------------------------------------------------------------------
+    def take_batch(self, limit: int | None = None) -> list[Job]:
+        """Pop up to *limit* queued jobs (all of them when ``None``).
+
+        The scheduler calls this once per round; popped jobs stay
+        in flight until :meth:`mark_terminal` is called for them.
+        """
+        with self._lock:
+            count = len(self._pending) if limit is None else min(limit, len(self._pending))
+            batch = [self._pending.popleft() for _ in range(count)]
+        return batch
+
+    def mark_terminal(self, job: Job) -> None:
+        """Release the backlog slot of a job that reached done/failed."""
+        if not job.finished:
+            raise ValueError(
+                f"job {job.id} is {job.status!r}, not terminal; "
+                "set status to 'done' or 'failed' first"
+            )
+        with self._lock:
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: int) -> Job | None:
+        """Look up any ever-admitted job by id (``None`` when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> dict:
+        """Admission counters: submissions, backlog, rejections by cause."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "pending": len(self._pending),
+                "in_flight": self._in_flight,
+                "max_pending": self.max_pending,
+                "rejections": self._rejected,
+                "rejections_full": self._rejected_full,
+                "rejections_invalid": self._rejected_invalid,
+            }

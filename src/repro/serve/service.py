@@ -1,0 +1,140 @@
+"""The coloring service façade: queue + scheduler + cache as one object.
+
+:class:`ColoringService` wires the serving pipeline together and is the
+single surface both fronts use — the in-process API the tests and the
+CI smoke drive directly (no sockets anywhere), and the stdlib HTTP front
+in :mod:`repro.serve.api`:
+
+    service = ColoringService()
+    job = service.submit(graph, RunConfig("vff", seed=0))
+    service.process()                      # drain synchronously
+    result = service.result(job.id).result # a full RunResult
+
+For a long-running server, :meth:`start` spins one background *pump*
+thread that drains the queue whenever jobs are waiting; :meth:`stop`
+joins it.  Everything stays deterministic either way: processing order
+follows admission order, and every job's coloring is bit-identical to a
+direct :func:`repro.run.execute` at the same seed — whether computed,
+deduplicated against an identical in-flight job, or served from cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..graph.csr import CSRGraph
+from ..obs import as_recorder
+from ..run.config import RunConfig
+from .cache import DEFAULT_MAX_BYTES, ResultCache
+from .queue import DEFAULT_MAX_PENDING, Job, SubmissionQueue
+from .scheduler import BatchScheduler
+
+__all__ = ["ColoringService"]
+
+
+class ColoringService:
+    """Submission, scheduling, caching, and introspection in one place.
+
+    Parameters mirror the components': *max_pending* bounds admission
+    (see :class:`SubmissionQueue`), *max_bytes* / *spill_dir* shape the
+    :class:`ResultCache`, *workers* / *batch_size* the
+    :class:`BatchScheduler`.  *recorder* is shared by every component, so
+    one observability sink sees the whole ``serve.*`` counter family.
+    """
+
+    def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 spill_dir=None, workers: int = 1,
+                 batch_size: int | None = None, recorder=None):
+        self.recorder = as_recorder(recorder)
+        self.queue = SubmissionQueue(max_pending=max_pending)
+        self.cache = ResultCache(max_bytes=max_bytes, spill_dir=spill_dir,
+                                 recorder=self.recorder)
+        self.scheduler = BatchScheduler(self.queue, self.cache,
+                                        workers=workers, batch_size=batch_size,
+                                        recorder=self.recorder)
+        self._pump: threading.Thread | None = None
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # the four verbs (submit / result / stats / healthz)
+    # ------------------------------------------------------------------
+    def submit(self, graph: CSRGraph, config: RunConfig) -> Job:
+        """Admit one job (raises :class:`~repro.serve.queue.AdmissionError`
+        with a reason on rejection) and wake the pump if one is running."""
+        job = self.queue.submit(graph, config)
+        self._wake.set()
+        return job
+
+    def result(self, job_id: int) -> Job | None:
+        """The job (with ``result``/``error`` once terminal), or ``None``."""
+        return self.queue.job(job_id)
+
+    def stats(self) -> dict:
+        """One JSON-ready dict: queue, scheduler, and cache counters."""
+        return {
+            "queue": self.queue.stats(),
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    def healthz(self) -> dict:
+        """Liveness summary for load balancers: status + backlog."""
+        q = self.queue.stats()
+        return {
+            "status": "ok",
+            "pending": q["pending"],
+            "in_flight": q["in_flight"],
+            "pump": self._pump is not None and self._pump.is_alive(),
+        }
+
+    # ------------------------------------------------------------------
+    # in-process driving (tests, CI smoke, benchmarks)
+    # ------------------------------------------------------------------
+    def process(self, max_rounds: int | None = None) -> int:
+        """Drain the queue on the calling thread; return jobs resolved."""
+        return self.scheduler.run_until_idle(max_rounds)
+
+    def submit_and_wait(self, graph: CSRGraph, config: RunConfig) -> Job:
+        """Convenience one-shot: submit, drain, return the terminal job.
+
+        With the pump running the drain is cooperative (whichever thread
+        gets there first resolves the batch); without it, this is the
+        purely synchronous single-threaded path.
+        """
+        job = self.submit(graph, config)
+        while not job.finished:
+            if self.process() == 0 and not job.finished:
+                # pump thread got the batch first; let it finish
+                self._wake.set()
+                time.sleep(0.001)
+        return job
+
+    # ------------------------------------------------------------------
+    # background pump (the HTTP server's scheduling thread)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background pump thread (idempotent)."""
+        if self._pump is not None and self._pump.is_alive():
+            return
+        self._stopping.clear()
+        self._pump = threading.Thread(target=self._pump_loop,
+                                      name="repro-serve-pump", daemon=True)
+        self._pump.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the pump to exit after the current round and join it."""
+        self._stopping.set()
+        self._wake.set()
+        if self._pump is not None:
+            self._pump.join(timeout)
+            self._pump = None
+
+    def _pump_loop(self) -> None:
+        while not self._stopping.is_set():
+            if self.scheduler.run_round() == 0:
+                # nothing queued: sleep until a submit wakes us
+                self._wake.wait(timeout=0.05)
+                self._wake.clear()

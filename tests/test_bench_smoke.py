@@ -1,9 +1,11 @@
-"""Smoke coverage for the kernel benchmark CLI.
+"""Smoke coverage for the benchmark CLIs.
 
-Runs ``benchmarks/bench_kernels.py --quick`` in a subprocess against the
-checked-in ``BENCH_kernels.json`` baseline: the test fails if the script
-crashes or if any kernel regressed to less than half its recorded
-vectorized/reference speedup (the ``--check`` contract).
+Runs ``benchmarks/bench_kernels.py --quick`` and
+``benchmarks/bench_serve.py --quick`` in subprocesses against their
+checked-in baselines (``BENCH_kernels.json`` / ``BENCH_serve.json``): a
+test fails if the script crashes or if the ``--check`` regression gate
+trips (kernel speedup halved; serving efficiency halved, hit rate below
+the trace's ideal, or redundant ``execute`` calls).
 """
 
 import json
@@ -16,6 +18,8 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH = REPO_ROOT / "benchmarks" / "bench_kernels.py"
 BASELINE = REPO_ROOT / "BENCH_kernels.json"
+BENCH_SERVE = REPO_ROOT / "benchmarks" / "bench_serve.py"
+BASELINE_SERVE = REPO_ROOT / "BENCH_serve.json"
 
 
 def test_baseline_artifact_shows_target_speedup():
@@ -55,3 +59,33 @@ def test_quick_bench_runs_and_passes_baseline_check(tmp_path):
         payload["results"]
     )
     assert events[-1]["kind"] == "run_summary"
+
+
+def test_serve_baseline_artifact_is_consistent():
+    """The checked-in serve artifact must show redundancy actually absorbed."""
+    payload = json.loads(BASELINE_SERVE.read_text())
+    assert payload["results"], "serve baseline has no workloads"
+    for row in payload["results"]:
+        assert row["executed"] == row["distinct"]
+        assert row["cache_hits"] + row["dedup_hits"] == (
+            row["jobs"] - row["distinct"]
+        )
+        assert row["speedup"] > 1.0
+
+
+@pytest.mark.slow
+def test_quick_serve_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_serve_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_SERVE), "--quick", "--out", str(out),
+         "--check", str(BASELINE_SERVE)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    workloads = {r["workload"] for r in payload["results"]}
+    assert workloads == {"mixed_ff_10x", "superstep_vff_10x"}

@@ -122,3 +122,32 @@ class TestConversion:
 
     def test_hashable(self):
         assert isinstance(hash(path_graph(4)), int)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(path_graph(5)) == hash(path_graph(5))
+        assert hash(path_graph(5)) != hash(path_graph(6))
+
+    def test_hash_sees_past_256_byte_prefix(self):
+        # Two graphs sharing n, m, and the first 256 bytes (= 32 int64
+        # entries) of `indices` but differing later must hash apart: a
+        # long path vs the same path with its last edge rewired.
+        n = 200
+        a = path_graph(n)
+        edges = [(i, i + 1) for i in range(n - 1)]
+        edges[-1] = (n - 3, n - 1)  # same count, different far edge
+        b = from_edge_arrays(
+            np.array([u for u, _ in edges], dtype=np.int64),
+            np.array([v for _, v in edges], dtype=np.int64),
+            num_vertices=n,
+        )
+        assert np.array_equal(a.indices[:32], b.indices[:32])
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_fingerprint_full_content_and_cached(self):
+        a = path_graph(50)
+        fp = a.fingerprint()
+        assert len(fp) == 64 and int(fp, 16) >= 0  # hex sha256
+        assert a.fingerprint() is fp  # cached
+        assert path_graph(50).fingerprint() == fp  # pure content
+        assert path_graph(51).fingerprint() != fp

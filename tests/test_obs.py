@@ -54,6 +54,27 @@ class TestRecorder:
         rec.gauge("rsd", 3.0)
         assert rec.gauges["rsd"] == 3.0
 
+    def test_counts_and_events_are_thread_safe(self):
+        # the serve layer's worker pool counts into one shared recorder;
+        # no increment may be lost and event seq numbers must stay unique
+        import threading
+
+        rec = Recorder()
+
+        def work(tid):
+            for _ in range(500):
+                rec.count("jobs")
+                rec.event("tick", tid=tid)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters["jobs"] == 4000
+        assert len(rec.events) == 4000
+        assert len({e["seq"] for e in rec.events}) == 4000
+
     def test_phase_nesting_paths(self):
         rec = Recorder()
         with rec.phase("outer"):

@@ -261,6 +261,96 @@ class TestLegacyFrontDoors:
             color_and_balance(small_cnr, "kempe", max_rounds=3)
 
 
+class TestConfigDictRoundTrip:
+    def test_default_config_round_trips(self):
+        cfg = RunConfig("greedy-ff")
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_full_config_round_trips(self):
+        cfg = RunConfig(
+            "sched-fwd", mode="superstep", threads=8, machine="tilegx36",
+            backend="vectorized", ordering="degree", seed=42, rounds=3,
+            weight="degree", strategy_kwargs={"fill": "fwd"},
+            on_failure="repair", fault_plan="kill@r0.w1;stall@r1.w0:0.5",
+        )
+        data = cfg.to_dict()
+        restored = RunConfig.from_dict(data)
+        assert restored == cfg
+        assert dict(restored.strategy_kwargs) == {"fill": "fwd"}
+        assert restored.fault_plan == cfg.fault_plan
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        cfg = RunConfig("vff", mode="superstep", threads=4, seed=7,
+                        fault_plan="stick@r1:3")
+        assert RunConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    def test_machine_instance_serializes_to_registry_name(self):
+        cfg = RunConfig("vff", mode="superstep", threads=4, machine=tilegx36())
+        assert cfg.to_dict()["machine"] == "tilegx36"
+
+    def test_custom_machine_instance_rejected_by_name(self):
+        import dataclasses
+
+        custom = dataclasses.replace(tilegx36(), name="bespoke")
+        cfg = RunConfig("vff", mode="superstep", threads=4, machine=custom)
+        with pytest.raises(ValueError, match="bespoke"):
+            cfg.to_dict()
+
+    def test_non_json_seed_named(self):
+        cfg = RunConfig("greedy-ff", seed=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="seed"):
+            cfg.to_dict()
+
+    def test_non_json_strategy_kwarg_named(self):
+        cfg = RunConfig("greedy-ff",
+                        strategy_kwargs={"ordering": np.arange(3)})
+        with pytest.raises(ValueError, match=r"strategy_kwargs\['ordering'\]"):
+            cfg.to_dict()
+
+    def test_fault_plan_with_seed_round_trips(self):
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan.from_spec("corrupt@r0.w1", seed=99)
+        cfg = RunConfig("greedy-ff", mode="mp", threads=2, fault_plan=plan)
+        data = cfg.to_dict()
+        assert data["fault_plan"] == {"spec": "corrupt@r0.w1", "seed": 99}
+        assert RunConfig.from_dict(data).fault_plan == plan
+
+    def test_from_dict_unknown_field_named(self):
+        with pytest.raises(ValueError, match=r"\['bogus'\]"):
+            RunConfig.from_dict({"strategy": "vff", "bogus": 1})
+
+    def test_from_dict_requires_strategy(self):
+        with pytest.raises(ValueError, match="'strategy'"):
+            RunConfig.from_dict({"mode": "sequential"})
+
+    def test_from_dict_needs_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            RunConfig.from_dict(["vff"])
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("threads", "4", "'threads'"),
+        ("threads", True, "'threads'"),
+        ("rounds", 2.5, "'rounds'"),
+        ("mode", 3, "'mode'"),
+        ("machine", 7, "'machine'"),
+        ("backend", 1, "'backend'"),
+        ("strategy_kwargs", [1], "'strategy_kwargs'"),
+        ("fault_plan", 5, "'fault_plan'"),
+        ("fault_plan", {"spec": "kill@r0.w0", "extra": 1}, "'fault_plan'"),
+        ("fault_plan", "garbage", "'fault_plan'"),
+    ])
+    def test_from_dict_bad_field_named(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            RunConfig.from_dict({"strategy": "vff", field: value})
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = RunConfig.from_dict({"strategy": "vff", "seed": 3})
+        assert cfg == RunConfig("vff", seed=3)
+
+
 class TestSeedSplitting:
     def test_split_seed_none_stays_none(self):
         assert split_seed(None) == (None, None)

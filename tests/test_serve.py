@@ -1,0 +1,507 @@
+"""Tests for the serving subsystem (repro.serve).
+
+Everything here drives the service in-process — no sockets — so results
+are deterministic: the same jobs at the same seeds must produce
+bit-identical colorings whether computed, deduplicated against an
+identical in-flight job, or served from the cache (memory or disk).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.serve.scheduler as scheduler_mod
+from repro.graph import cycle_graph, erdos_renyi_graph, path_graph
+from repro.run import RunConfig, execute
+from repro.serve import (
+    AdmissionError,
+    ColoringService,
+    ResultCache,
+    SubmissionQueue,
+    config_fingerprint,
+    graph_fingerprint,
+    job_key,
+)
+from repro.serve.api import dispatch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(300, 0.03, seed=7)
+
+
+@pytest.fixture
+def counted_execute(monkeypatch):
+    """Patch the scheduler's execute with a call-counting wrapper."""
+    calls: list[RunConfig] = []
+    real = scheduler_mod.execute
+
+    def counting(graph, config):
+        calls.append(config)
+        return real(graph, config)
+
+    monkeypatch.setattr(scheduler_mod, "execute", counting)
+    return calls
+
+
+# ----------------------------------------------------------------------
+# fingerprints and cache keys
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_equal_content_equal_key(self, graph):
+        other = erdos_renyi_graph(300, 0.03, seed=7)
+        cfg = RunConfig("greedy-ff", seed=1)
+        assert graph_fingerprint(graph) == graph_fingerprint(other)
+        assert job_key(graph, cfg) == job_key(other, cfg)
+
+    def test_graph_content_changes_key(self, graph):
+        other = erdos_renyi_graph(300, 0.03, seed=8)
+        assert graph_fingerprint(graph) != graph_fingerprint(other)
+
+    def test_config_changes_key(self, graph):
+        a = job_key(graph, RunConfig("greedy-ff", seed=1))
+        b = job_key(graph, RunConfig("greedy-ff", seed=2))
+        c = job_key(graph, RunConfig("vff", seed=1))
+        assert len({a, b, c}) == 3
+
+    def test_config_fingerprint_ignores_kwargs_order(self, graph):
+        a = RunConfig("sched-fwd", strategy_kwargs={"fill": "fwd", "rounds": 2})
+        b = RunConfig("sched-fwd", strategy_kwargs={"rounds": 2, "fill": "fwd"})
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_stable_across_processes(self):
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.graph import erdos_renyi_graph\n"
+            "from repro.run import RunConfig\n"
+            "from repro.serve import job_key\n"
+            "g = erdos_renyi_graph(300, 0.03, seed=7)\n"
+            "print(job_key(g, RunConfig('vff', mode='superstep', threads=4,"
+            " seed=3)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            cwd=REPO_ROOT, timeout=120, check=True,
+        ).stdout.strip()
+        g = erdos_renyi_graph(300, 0.03, seed=7)
+        here = job_key(g, RunConfig("vff", mode="superstep", threads=4, seed=3))
+        assert out == here
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    @staticmethod
+    def _results(n):
+        g = path_graph(100)
+        return [(job_key(g, RunConfig("greedy-ff", seed=i)),
+                 execute(g, RunConfig("greedy-ff", seed=i)))
+                for i in range(n)]
+
+    def test_hit_returns_same_object(self):
+        (key, result), = self._results(1)
+        cache = ResultCache()
+        cache.put(key, result)
+        assert cache.get(key) is result
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+
+    def test_lru_eviction_under_byte_budget(self):
+        pairs = self._results(3)
+        one_entry = 100 * 8 + 512  # colors + fixed overhead (ab initio: no initial)
+        cache = ResultCache(max_bytes=2 * one_entry)
+        for key, result in pairs:
+            cache.put(key, result)
+        assert cache.get(pairs[0][0]) is None  # oldest evicted
+        assert cache.get(pairs[1][0]) is not None
+        assert cache.get(pairs[2][0]) is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["bytes"] <= cache.max_bytes
+
+    def test_get_refreshes_recency(self):
+        pairs = self._results(3)
+        one_entry = 100 * 8 + 512
+        cache = ResultCache(max_bytes=2 * one_entry)
+        cache.put(pairs[0][0], pairs[0][1])
+        cache.put(pairs[1][0], pairs[1][1])
+        cache.get(pairs[0][0])  # touch: now pairs[1] is LRU
+        cache.put(pairs[2][0], pairs[2][1])
+        assert cache.get(pairs[0][0]) is not None
+        assert cache.get(pairs[1][0]) is None
+
+    def test_disk_spill_roundtrip(self, tmp_path):
+        pairs = self._results(3)
+        one_entry = 100 * 8 + 512
+        cache = ResultCache(max_bytes=2 * one_entry, spill_dir=tmp_path)
+        for key, result in pairs:
+            cache.put(key, result)
+        assert cache.stats()["spills"] == 1
+        restored = cache.get(pairs[0][0])
+        assert restored is not None
+        assert np.array_equal(restored.coloring.colors,
+                              pairs[0][1].coloring.colors)
+        assert restored.coloring.meta["served_from"] == "disk"
+        assert restored.config == pairs[0][1].config
+        assert restored.balance.rsd_percent == pairs[0][1].balance.rsd_percent
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_spill_survives_new_cache_instance(self, tmp_path):
+        (key, result), = self._results(1)
+        cache = ResultCache(max_bytes=1, spill_dir=tmp_path)
+        cache.put(key, result)  # over budget: spilled and evicted immediately
+        fresh = ResultCache(spill_dir=tmp_path)
+        restored = fresh.get(key)
+        assert restored is not None
+        assert np.array_equal(restored.coloring.colors, result.coloring.colors)
+
+    def test_miss_counts(self):
+        cache = ResultCache()
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_counters_reach_recorder(self):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        (key, result), = self._results(1)
+        cache = ResultCache(recorder=rec)
+        cache.get(key)
+        cache.put(key, result)
+        cache.get(key)
+        assert rec.counters["serve.cache.misses"] == 1
+        assert rec.counters["serve.cache.hits"] == 1
+
+    def test_rejects_non_result(self):
+        with pytest.raises(TypeError, match="RunResult"):
+            ResultCache().put("k", object())
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(max_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# admission queue
+# ----------------------------------------------------------------------
+class TestSubmissionQueue:
+    def test_backpressure_rejects_with_reason(self, graph):
+        q = SubmissionQueue(max_pending=2)
+        q.submit(graph, RunConfig("greedy-ff", seed=0))
+        q.submit(graph, RunConfig("greedy-ff", seed=1))
+        with pytest.raises(AdmissionError, match="queue full.*limit 2"):
+            q.submit(graph, RunConfig("greedy-ff", seed=2))
+        stats = q.stats()
+        assert stats["rejections"] == 1
+        assert stats["rejections_full"] == 1
+        assert stats["rejections_invalid"] == 0
+
+    def test_slot_freed_after_terminal(self, graph):
+        q = SubmissionQueue(max_pending=1)
+        job = q.submit(graph, RunConfig("greedy-ff", seed=0))
+        (taken,) = q.take_batch()
+        taken.status = "done"
+        q.mark_terminal(taken)
+        assert job is taken
+        q.submit(graph, RunConfig("greedy-ff", seed=1))  # no AdmissionError
+
+    def test_unknown_strategy_rejected(self, graph):
+        q = SubmissionQueue()
+        with pytest.raises(AdmissionError, match="unknown strategy"):
+            q.submit(graph, RunConfig("nope"))
+        assert q.stats()["rejections_invalid"] == 1
+
+    def test_unsupported_mode_rejected(self, graph):
+        q = SubmissionQueue()
+        with pytest.raises(AdmissionError, match="does not support mode"):
+            q.submit(graph, RunConfig("kempe", mode="mp", threads=2))
+
+    def test_invalid_submission_takes_no_slot(self, graph):
+        q = SubmissionQueue(max_pending=1)
+        with pytest.raises(AdmissionError):
+            q.submit(graph, RunConfig("nope"))
+        q.submit(graph, RunConfig("greedy-ff", seed=0))
+
+    def test_mark_terminal_requires_terminal_status(self, graph):
+        q = SubmissionQueue()
+        job = q.submit(graph, RunConfig("greedy-ff", seed=0))
+        with pytest.raises(ValueError, match="not terminal"):
+            q.mark_terminal(job)
+
+
+# ----------------------------------------------------------------------
+# scheduler + service
+# ----------------------------------------------------------------------
+class TestService:
+    def test_dedup_two_identical_jobs_one_execute(self, graph, counted_execute):
+        svc = ColoringService()
+        cfg = RunConfig("greedy-ff", seed=5)
+        j1 = svc.submit(graph, cfg)
+        j2 = svc.submit(graph, cfg)
+        svc.process()
+        assert len(counted_execute) == 1
+        assert j1.status == j2.status == "done"
+        assert j1.source == "computed" and j2.source == "dedup"
+        assert np.array_equal(j1.result.coloring.colors,
+                              j2.result.coloring.colors)
+
+    def test_cache_hit_bit_parity_with_fresh_execute(self, graph):
+        svc = ColoringService()
+        cfg = RunConfig("vff", mode="superstep", threads=4, seed=9)
+        first = svc.submit_and_wait(graph, cfg)
+        second = svc.submit_and_wait(graph, cfg)
+        direct = execute(graph, cfg)
+        assert first.source == "computed" and second.source == "cache"
+        assert np.array_equal(first.result.coloring.colors,
+                              direct.coloring.colors)
+        assert np.array_equal(second.result.coloring.colors,
+                              direct.coloring.colors)
+
+    def test_disk_cache_hit_bit_parity(self, graph, tmp_path, counted_execute):
+        cfg = RunConfig("greedy-ff", seed=2)
+        svc = ColoringService(max_bytes=1, spill_dir=tmp_path)
+        svc.submit_and_wait(graph, cfg)
+        job = svc.submit_and_wait(graph, cfg)
+        assert job.source == "cache"
+        assert job.result.coloring.meta["served_from"] == "disk"
+        assert len(counted_execute) == 1
+        assert np.array_equal(job.result.coloring.colors,
+                              execute(graph, cfg).coloring.colors)
+
+    def test_failed_job_reports_error_and_frees_slot(self, graph, monkeypatch):
+        def boom(graph, config):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(scheduler_mod, "execute", boom)
+        svc = ColoringService(max_pending=1)
+        job = svc.submit_and_wait(graph, RunConfig("greedy-ff", seed=0))
+        assert job.status == "failed"
+        assert "worker exploded" in job.error
+        assert svc.stats()["scheduler"]["failures"] == 1
+        assert svc.queue.in_flight == 0
+
+    def test_failure_not_cached(self, graph, monkeypatch):
+        calls = []
+        real = scheduler_mod.execute
+
+        def flaky(graph, config):
+            calls.append(config)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return real(graph, config)
+
+        monkeypatch.setattr(scheduler_mod, "execute", flaky)
+        svc = ColoringService()
+        cfg = RunConfig("greedy-ff", seed=0)
+        assert svc.submit_and_wait(graph, cfg).status == "failed"
+        retry = svc.submit_and_wait(graph, cfg)
+        assert retry.status == "done" and retry.source == "computed"
+
+    def test_threaded_pool_matches_sequential(self, graph):
+        configs = [RunConfig("greedy-ff", seed=i) for i in range(6)]
+        seq = ColoringService(workers=1)
+        par = ColoringService(workers=4)
+        seq_jobs = [seq.submit(graph, c) for c in configs]
+        par_jobs = [par.submit(graph, c) for c in configs]
+        seq.process()
+        par.process()
+        for a, b in zip(seq_jobs, par_jobs):
+            assert np.array_equal(a.result.coloring.colors,
+                                  b.result.coloring.colors)
+
+    def test_pump_thread_resolves_jobs(self, graph):
+        svc = ColoringService()
+        svc.start()
+        try:
+            job = svc.submit(graph, RunConfig("greedy-ff", seed=1))
+            for _ in range(2000):
+                if job.finished:
+                    break
+                import time
+
+                time.sleep(0.005)
+            assert job.status == "done"
+        finally:
+            svc.stop()
+        assert svc.healthz()["pump"] is False
+
+    def test_acceptance_100_jobs_10_pairs(self, counted_execute):
+        """The ISSUE acceptance workload: 100 jobs, 10 pairs, 10 executes."""
+        graphs = [erdos_renyi_graph(200, 0.04, seed=s) for s in (0, 1)]
+        configs = [RunConfig("greedy-ff", seed=s) for s in range(5)]
+        pairs = [(g, c) for g in graphs for c in configs]  # 10 distinct
+        direct = {job_key(g, c): execute(g, c) for g, c in pairs}
+
+        svc = ColoringService()
+        jobs = []
+        # 10 waves of the same 10 pairs; process every second wave so both
+        # in-flight dedup and cache hits are exercised.
+        for wave in range(10):
+            for g, c in pairs:
+                jobs.append(svc.submit(g, c))
+            if wave % 2 == 1:
+                svc.process()
+        svc.process()
+
+        assert len(jobs) == 100
+        assert len(counted_execute) == 10  # exactly one per distinct pair
+        for job in jobs:
+            assert job.status == "done"
+            assert np.array_equal(job.result.coloring.colors,
+                                  direct[job.key].coloring.colors)
+
+        stats = svc.stats()
+        sched, cache, queue = stats["scheduler"], stats["cache"], stats["queue"]
+        assert queue["submitted"] == 100
+        assert queue["rejections"] == 0
+        assert sched["executed"] == 10
+        assert sched["resolved"] == 100
+        assert sched["executed"] + sched["cache_hits"] + sched["dedup_hits"] == 100
+        # every job probed the cache exactly once: hits resolve as cache
+        # hits, misses split into primaries (executed) and dedup followers
+        assert cache["hits"] == sched["cache_hits"]
+        assert cache["misses"] == sched["executed"] + sched["dedup_hits"]
+        assert cache["evictions"] == 0
+
+
+# ----------------------------------------------------------------------
+# HTTP protocol (socketless, via dispatch)
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def _submit_body(self, **config):
+        cfg = {"strategy": "greedy-ff", "seed": 0}
+        cfg.update(config)
+        return {"input": "cnr", "scale": 0.05, "seed": 0, "config": cfg}
+
+    def test_submit_result_stats_healthz(self):
+        svc = ColoringService()
+        status, reply = dispatch(svc, "POST", "/submit", self._submit_body())
+        assert status == 202
+        assert reply["status"] == "queued"
+        svc.process()
+        status, result = dispatch(svc, "GET", f"/result/{reply['job_id']}")
+        assert status == 200
+        assert result["status"] == "done" and result["source"] == "computed"
+        assert result["num_colors"] >= 1
+        status, stats = dispatch(svc, "GET", "/stats")
+        assert status == 200 and stats["scheduler"]["executed"] == 1
+        status, health = dispatch(svc, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_result_includes_colors_on_request(self):
+        svc = ColoringService()
+        _, reply = dispatch(svc, "POST", "/submit", self._submit_body())
+        svc.process()
+        _, result = dispatch(svc, "GET", f"/result/{reply['job_id']}?colors=1")
+        assert isinstance(result["colors"], list)
+        assert len(result["colors"]) == result["num_vertices"]
+
+    def test_bad_strategy_is_400(self):
+        svc = ColoringService()
+        status, reply = dispatch(svc, "POST", "/submit",
+                                 self._submit_body(strategy="nope"))
+        assert status == 400 and "unknown strategy" in reply["error"]
+
+    def test_unknown_config_field_is_400(self):
+        svc = ColoringService()
+        status, reply = dispatch(svc, "POST", "/submit",
+                                 self._submit_body(bogus=1))
+        assert status == 400 and "bogus" in reply["error"]
+
+    def test_unknown_input_is_400(self):
+        svc = ColoringService()
+        body = self._submit_body()
+        body["input"] = "no-such-graph"
+        status, reply = dispatch(svc, "POST", "/submit", body)
+        assert status == 400 and "no-such-graph" in reply["error"]
+
+    def test_queue_full_is_429(self):
+        svc = ColoringService(max_pending=1)
+        assert dispatch(svc, "POST", "/submit", self._submit_body())[0] == 202
+        status, reply = dispatch(svc, "POST", "/submit", self._submit_body(seed=1))
+        assert status == 429 and "queue full" in reply["error"]
+
+    def test_unknown_job_is_404(self):
+        assert dispatch(ColoringService(), "GET", "/result/999")[0] == 404
+
+    def test_non_integer_job_id_is_400(self):
+        assert dispatch(ColoringService(), "GET", "/result/abc")[0] == 400
+
+    def test_unknown_route_is_404(self):
+        assert dispatch(ColoringService(), "GET", "/nope")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# real HTTP server (one end-to-end socket round-trip)
+# ----------------------------------------------------------------------
+class TestHTTPServer:
+    def test_end_to_end_roundtrip(self):
+        import threading
+
+        from repro.serve.api import (
+            fetch_json,
+            make_server,
+            submit_job,
+            wait_for_result,
+        )
+
+        svc = ColoringService()
+        svc.start()
+        server = make_server(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            body = {"input": "cnr", "scale": 0.05, "seed": 0,
+                    "config": {"strategy": "greedy-ff", "seed": 0}}
+            first = submit_job(base, body)
+            done = wait_for_result(base, first["job_id"], timeout=60)
+            assert done["status"] == "done"
+            second = submit_job(base, body)
+            done2 = wait_for_result(base, second["job_id"], timeout=60)
+            assert done2["source"] == "cache"
+            assert fetch_json(base, "/healthz")["status"] == "ok"
+            assert fetch_json(base, "/stats")["scheduler"]["executed"] == 1
+        finally:
+            server.shutdown()
+            svc.stop()
+
+
+# ----------------------------------------------------------------------
+# batching / grouping behavior
+# ----------------------------------------------------------------------
+class TestBatching:
+    def test_batch_size_limits_round(self, graph):
+        svc = ColoringService(batch_size=2)
+        for seed in range(5):
+            svc.submit(graph, RunConfig("greedy-ff", seed=seed))
+        assert svc.scheduler.run_round() == 2
+        assert svc.queue.pending_count == 3
+        svc.process()
+        assert svc.queue.pending_count == 0
+
+    def test_mixed_modes_grouped_and_resolved(self, counted_execute):
+        g = cycle_graph(60)
+        svc = ColoringService(workers=2)
+        configs = [
+            RunConfig("greedy-ff", seed=0),
+            RunConfig("vff", mode="superstep", threads=2, seed=0),
+            RunConfig("greedy-ff", seed=1),
+            RunConfig("vff", mode="superstep", threads=4, seed=0),
+        ]
+        jobs = [svc.submit(g, c) for c in configs]
+        svc.process()
+        assert [j.status for j in jobs] == ["done"] * 4
+        assert len(counted_execute) == 4
+        for job, cfg in zip(jobs, configs):
+            assert np.array_equal(job.result.coloring.colors,
+                                  execute(g, cfg).coloring.colors)

@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Benchmark the zero-copy shared-memory execution substrate.
+
+Three measurements, one per claim the shm layer makes (DESIGN.md §12):
+
+- **bytes shipped per round** — ``meta["bytes_to_workers"]`` of the same
+  mp Greedy-FF job on the legacy pickling transport versus the shm
+  transport.  Legacy ships every worker the full colors snapshot plus
+  its block each round; shm ships segment names and offsets.
+- **warm vs cold pool latency** — the same job timed right after
+  ``shutdown_warm_pool()`` (the pool spawn is on the clock) and again
+  with the pool already up, median of several repeats.
+- **mmap vs resident RSS** — ``VmRSS`` growth of a fresh interpreter
+  after opening an on-disk graph store with ``mmap=True`` versus
+  ``mmap=False`` (measured in subprocesses so the deltas are clean).
+
+Writes ``BENCH_shm.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_shm.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_shm.py --quick    # CI smoke
+
+``--check BASELINE.json`` gates regressions on machine-robust
+quantities, never raw wall times: the per-round bytes ratio must stay
+≥ 5× (the acceptance floor) and the shm side must keep shipping only
+descriptor-sized tasks (within 2× of the recorded bytes/round — the
+ratio itself scales with graph size, the shm payload does not), warm
+jobs must actually reuse the pool and be no slower than cold ones, the
+mmap RSS delta must stay under half the resident delta, and the two
+transports' colorings must be bit-identical.
+
+This file is a CLI script, not a pytest benchmark — the pytest smoke
+coverage lives in ``tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.graph import erdos_renyi_graph, save_graph  # noqa: E402
+from repro.parallel.mp import mp_greedy_ff  # noqa: E402
+from repro.shm import shutdown_warm_pool, warm_pool  # noqa: E402
+
+WORKERS = 3
+SEED = 7
+
+
+def _graph(quick: bool):
+    n = 3_000 if quick else 20_000
+    return erdos_renyi_graph(n, 12.0 / n, seed=SEED)
+
+
+# ----------------------------------------------------------------------
+# bytes shipped per round
+# ----------------------------------------------------------------------
+def bench_bytes(graph) -> dict:
+    legacy = mp_greedy_ff(graph, num_workers=WORKERS, seed=SEED, shm=False)
+    shm = mp_greedy_ff(graph, num_workers=WORKERS, seed=SEED, shm=True)
+    assert np.array_equal(legacy.colors, shm.colors), \
+        "transports disagree — shm path is not bit-identical"
+    row = {
+        "num_vertices": graph.num_vertices,
+        "rounds": shm.meta["rounds"],
+        "legacy_bytes_per_round": legacy.meta["bytes_to_workers"]
+        // max(legacy.meta["rounds"], 1),
+        "shm_bytes_per_round": shm.meta["bytes_to_workers"]
+        // max(shm.meta["rounds"], 1),
+        "bit_identical": True,
+    }
+    row["ratio"] = round(
+        row["legacy_bytes_per_round"] / max(row["shm_bytes_per_round"], 1), 2)
+    print(f"bytes/round   legacy {row['legacy_bytes_per_round']:>12,}  "
+          f"shm {row['shm_bytes_per_round']:>8,}  ratio {row['ratio']:.0f}x",
+          flush=True)
+    return row
+
+
+# ----------------------------------------------------------------------
+# warm vs cold pool latency
+# ----------------------------------------------------------------------
+def bench_pool(graph, repeats: int) -> dict:
+    def job():
+        t0 = time.perf_counter()
+        mp_greedy_ff(graph, num_workers=WORKERS, seed=SEED, shm=True)
+        return time.perf_counter() - t0
+
+    cold, warm = [], []
+    reused_jobs = cold_starts = 0
+    for _ in range(repeats):
+        shutdown_warm_pool()  # also resets the singleton's counters
+        cold.append(job())
+        warm.append(job())
+        stats = warm_pool().stats()
+        reused_jobs += stats["reused"]
+        cold_starts += stats["cold_starts"]
+    row = {
+        "repeats": repeats,
+        "cold_s": round(statistics.median(cold), 6),
+        "warm_s": round(statistics.median(warm), 6),
+        "pool_reused_jobs": reused_jobs,
+        "pool_cold_starts": cold_starts,
+    }
+    row["warm_speedup"] = round(row["cold_s"] / max(row["warm_s"], 1e-9), 3)
+    print(f"pool latency  cold {row['cold_s']*1e3:8.1f}ms  "
+          f"warm {row['warm_s']*1e3:8.1f}ms  "
+          f"speedup {row['warm_speedup']:.2f}x", flush=True)
+    return row
+
+
+# ----------------------------------------------------------------------
+# mmap vs resident RSS
+# ----------------------------------------------------------------------
+_RSS_PROBE = """
+import sys
+
+def vm_rss_kib():
+    with open("/proc/self/status") as f:
+        for line in f:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("no VmRSS")
+
+sys.path.insert(0, {src!r})
+from repro.graph import load_graph
+
+before = vm_rss_kib()
+graph = load_graph({store!r}, mmap={mmap})
+# touch only the O(n) row pointers (any algorithm needs those); the O(m)
+# indices must NOT page in for the mmap case
+graph.degrees
+print(vm_rss_kib() - before)
+"""
+
+
+def _rss_delta_kib(store: Path, mmap: bool) -> int:
+    code = _RSS_PROBE.format(src=str(REPO_ROOT / "src"), store=str(store),
+                             mmap=mmap)
+    proc = subprocess.run([sys.executable, "-c", code], capture_output=True,
+                          text=True, timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(f"RSS probe failed: {proc.stderr}")
+    return int(proc.stdout.strip())
+
+
+def bench_rss(graph) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = save_graph(graph, Path(tmp) / "bench.csrg")
+        resident = _rss_delta_kib(store, mmap=False)
+        mmapped = _rss_delta_kib(store, mmap=True)
+    csr_kib = (graph.indptr.nbytes + graph.indices.nbytes) // 1024
+    row = {
+        "csr_kib": csr_kib,
+        "resident_delta_kib": resident,
+        "mmap_delta_kib": mmapped,
+        "saved_fraction": round(1 - mmapped / max(resident, 1), 4),
+    }
+    print(f"load RSS      resident {resident:>8,} KiB  "
+          f"mmap {mmapped:>8,} KiB  (CSR {csr_kib:,} KiB)", flush=True)
+    return row
+
+
+# ----------------------------------------------------------------------
+# baseline gate
+# ----------------------------------------------------------------------
+def check_against_baseline(results: dict, baseline_path: Path) -> int:
+    """Return 1 on regression; ratios only, never raw wall times."""
+    baseline = json.loads(baseline_path.read_text())["results"]
+    failures = []
+
+    row, base = results["bytes"], baseline["bytes"]
+    if not row["bit_identical"]:
+        failures.append("shm coloring is not bit-identical to legacy")
+    if row["ratio"] < 5.0:
+        failures.append(
+            f"bytes/round ratio {row['ratio']:.1f}x < the 5x acceptance "
+            "floor")
+    # the ratio itself scales with graph size (legacy ships O(n) per task),
+    # so the cross-size invariant is the shm side: descriptors only, a few
+    # hundred bytes per round regardless of n
+    ceiling = 2 * base["shm_bytes_per_round"]
+    if row["shm_bytes_per_round"] > ceiling:
+        failures.append(
+            f"shm ships {row['shm_bytes_per_round']} bytes/round > "
+            f"ceiling {ceiling} (baseline {base['shm_bytes_per_round']}) — "
+            "a payload crept into the task tuples")
+
+    row = results["pool"]
+    if row["pool_reused_jobs"] < row["repeats"]:
+        failures.append(
+            f"warm pool reused only {row['pool_reused_jobs']} of "
+            f"{row['repeats']} warm jobs")
+    if row["warm_speedup"] < 1.0:
+        failures.append(
+            f"warm jobs slower than cold ones ({row['warm_speedup']:.2f}x)")
+
+    row, base = results["rss"], baseline["rss"]
+    if row["mmap_delta_kib"] * 2 > row["resident_delta_kib"]:
+        failures.append(
+            f"mmap load grew RSS by {row['mmap_delta_kib']} KiB — more than "
+            f"half the resident {row['resident_delta_kib']} KiB")
+
+    if failures:
+        print("BASELINE CHECK FAILED:", file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print("baseline check OK (bytes, pool, rss)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph and fewer repeats (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_shm.json",
+                        help="output JSON path")
+    parser.add_argument("--check", type=Path, metavar="BASELINE",
+                        help="compare against a recorded baseline; exit 1 on "
+                        "bytes-ratio regression, warm-pool miss, RSS blowup, "
+                        "or a transport mismatch")
+    args = parser.parse_args(argv)
+
+    graph = _graph(args.quick)
+    results = {
+        "bytes": bench_bytes(graph),
+        "pool": bench_pool(graph, repeats=2 if args.quick else 5),
+        "rss": bench_rss(_graph(quick=False)),  # RSS needs a real-sized CSR
+    }
+    shutdown_warm_pool()
+
+    payload = {
+        "meta": {
+            "mode": "quick" if args.quick else "full",
+            "workers": WORKERS,
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        return check_against_baseline(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

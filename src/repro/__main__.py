@@ -84,10 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list", "run", "serve", "submit"],
+        choices=sorted(_EXPERIMENTS) + ["all", "list", "run", "serve",
+                                        "store", "submit"],
         help="which artifact to regenerate ('list' prints the catalog; "
         "'run' executes one strategy through repro.run.execute; 'serve' "
-        "starts the coloring service; 'submit' is its HTTP client)",
+        "starts the coloring service; 'submit' is its HTTP client; 'store' "
+        "converts a graph to the memory-mapped on-disk store)",
     )
     parser.add_argument("--scale", type=float, default=0.25,
                         help="input stand-in scale (default 0.25)")
@@ -137,6 +139,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mp mode: per-block collection timeout — a dead or "
                      "hung worker is detected after at most this long "
                      "(default 60)")
+    run.add_argument("--graph-file", type=Path, default=None, dest="graph_file",
+                     metavar="PATH",
+                     help="color this graph instead of --input: a store "
+                     "directory from 'python -m repro store' (opened "
+                     "memory-mapped, out-of-core), a .mtx[.gz] file, or an "
+                     "edge list")
+    run.add_argument("--no-shm", action="store_true", dest="no_shm",
+                     help="mp mode: use the legacy per-job pickling "
+                     "transport instead of shared memory + the warm pool")
+    run.add_argument("--mp-context", default=None, dest="mp_context",
+                     choices=["fork", "spawn", "forkserver"],
+                     help="mp mode: multiprocessing start method (default: "
+                     "fork where available, else spawn; also honors the "
+                     "REPRO_MP_CONTEXT env var)")
+
+    store = parser.add_argument_group("store options (python -m repro store)")
+    store.add_argument("--out", type=Path, default=None, metavar="DIR",
+                       help="destination store directory (required for "
+                       "'store'); colors later with run --graph-file DIR")
 
     serve = parser.add_argument_group(
         "serve options (python -m repro serve / submit)")
@@ -148,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="scheduler worker-pool width for non-mp jobs "
                        "(default 1 = fully sequential)")
+    serve.add_argument("--prewarm", type=int, default=0, metavar="N",
+                       help="spawn the shared mp worker pool with N workers "
+                       "at service start, so the first mp job skips the "
+                       "cold start (default 0 = lazy)")
     serve.add_argument("--max-pending", type=int, default=None,
                        dest="max_pending", metavar="N",
                        help="admission bound: jobs in flight before submits "
@@ -196,6 +221,13 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
         strategy_kwargs = {}
         if args.round_timeout is not None:
             strategy_kwargs["round_timeout"] = args.round_timeout
+        if args.mode == "mp":
+            if args.no_shm:
+                strategy_kwargs["shm"] = False
+            if args.mp_context is not None:
+                strategy_kwargs["context"] = args.mp_context
+        elif args.no_shm or args.mp_context is not None:
+            parser.error("--no-shm/--mp-context only apply to --mode mp")
         config = RunConfig(
             strategy=args.strategy, mode=args.mode, threads=args.threads,
             machine=args.machine, backend=args.backend, ordering=args.ordering,
@@ -203,18 +235,50 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
             on_failure=args.on_failure, fault_plan=args.fault_plan,
             strategy_kwargs=strategy_kwargs,
         )
-        graph = load_dataset(args.input, scale=args.scale, seed=args.seed)
+        if args.graph_file is not None:
+            from .graph.store import load_graph_file
+
+            graph = load_graph_file(args.graph_file)
+            label = str(args.graph_file)
+        else:
+            graph = load_dataset(args.input, scale=args.scale, seed=args.seed)
+            label = f"{args.input} (scale={args.scale}, seed={args.seed})"
         tracer = traced_run(args.trace) if args.trace is not None else nullcontext(None)
         with tracer as recorder:
             result = execute(graph, config, recorder=recorder)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"{args.input} (scale={args.scale}, seed={args.seed}):")
+    print(f"{label}:")
     print(result.summary())
     if recorder is not None:
         print(recorder.summary())
         print(f"archived {len(recorder.events)} events to {args.trace}")
+    return 0
+
+
+def _store_command(args, parser: argparse.ArgumentParser) -> int:
+    """Convert a graph to the memory-mapped on-disk store."""
+    from .graph.datasets import load_dataset
+    from .graph.store import load_graph_file, save_graph
+
+    if args.out is None:
+        parser.error("'store' requires --out DIR")
+    try:
+        if args.graph_file is not None:
+            graph = load_graph_file(args.graph_file, mmap=False)
+            label = str(args.graph_file)
+        else:
+            graph = load_dataset(args.input, scale=args.scale, seed=args.seed)
+            label = f"{args.input} (scale={args.scale}, seed={args.seed})"
+        save_graph(graph, args.out)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"stored {label}: n={graph.num_vertices} m={graph.num_edges} "
+          f"-> {args.out}")
+    print(f"color it with: python -m repro run --strategy greedy-ff "
+          f"--mode mp --graph-file {args.out}")
     return 0
 
 
@@ -237,6 +301,10 @@ def _serve_command(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
+    if args.prewarm:
+        service.prewarm(args.prewarm)
+        print(f"repro serve: warm pool up with {args.prewarm} workers",
+              flush=True)
     service.start()
     print(f"repro serve: listening on http://{host}:{port} "
           f"(workers={args.workers}, cache={max_bytes // (1024 * 1024)}MiB, "
@@ -266,8 +334,11 @@ def _submit_command(args, parser: argparse.ArgumentParser) -> int:
         "weight": args.weight, "on_failure": args.on_failure,
         "fault_plan": args.fault_plan,
     }
-    payload = {"input": args.input, "scale": args.scale, "seed": args.seed,
-               "config": config}
+    payload = {"scale": args.scale, "seed": args.seed, "config": config}
+    if args.graph_file is not None:
+        payload["graph_file"] = str(args.graph_file)
+    else:
+        payload["input"] = args.input
     try:
         reply = submit_job(args.url, payload)
     except OSError as exc:
@@ -303,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_command(args, parser)
     if args.experiment == "serve":
         return _serve_command(args)
+    if args.experiment == "store":
+        return _store_command(args, parser)
     if args.experiment == "submit":
         return _submit_command(args, parser)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

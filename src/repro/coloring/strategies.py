@@ -243,7 +243,7 @@ def _superstep_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
 
 
 @_accepts("max_rounds", "partition", "backend", "fault_plan", "round_timeout",
-          "max_retries")
+          "max_retries", "shm", "context")
 def _mp_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
                   threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
     from ..parallel.mp import mp_greedy_ff

@@ -22,12 +22,17 @@ def _color_array(coloring: Coloring | np.ndarray) -> np.ndarray:
 
 
 def count_conflicts(graph: CSRGraph, coloring: Coloring | np.ndarray) -> int:
-    """Number of edges whose endpoints share a color (0 for proper)."""
+    """Number of edges whose endpoints share a color (0 for proper).
+
+    Edges stream through :meth:`~repro.graph.csr.CSRGraph.edge_chunks`,
+    so verifying a memory-mapped out-of-core graph never materializes
+    its full edge list.
+    """
     colors = _color_array(coloring)
     if colors.shape[0] != graph.num_vertices:
         raise ValueError("coloring length does not match vertex count")
-    u, v = graph.edge_arrays()
-    return int(np.count_nonzero(colors[u] == colors[v]))
+    return sum(int(np.count_nonzero(colors[u] == colors[v]))
+               for u, v in graph.edge_chunks())
 
 
 def is_proper(graph: CSRGraph, coloring: Coloring | np.ndarray) -> bool:
@@ -48,13 +53,18 @@ def assert_proper(graph: CSRGraph, coloring: Coloring | np.ndarray) -> None:
     if colors.size and colors.min() < 0:
         v = int(np.argmin(colors))
         raise AssertionError(f"vertex {v} is uncolored")
-    u, v = graph.edge_arrays()
-    bad = np.nonzero(colors[u] == colors[v])[0]
-    if bad.size:
-        i = int(bad[0])
+    first = None
+    total = 0
+    for u, v in graph.edge_chunks():
+        bad = np.nonzero(colors[u] == colors[v])[0]
+        if bad.size and first is None:
+            i = int(bad[0])
+            first = (int(u[i]), int(v[i]), int(colors[u[i]]))
+        total += int(bad.size)
+    if first is not None:
         raise AssertionError(
-            f"edge ({int(u[i])}, {int(v[i])}) is monochromatic with color {int(colors[u[i]])}"
-            f" ({bad.size} conflicting edges total)"
+            f"edge ({first[0]}, {first[1]}) is monochromatic with color {first[2]}"
+            f" ({total} conflicting edges total)"
         )
 
 
@@ -65,6 +75,7 @@ def conflicting_vertices(graph: CSRGraph, colors: np.ndarray) -> np.ndarray:
     (``color[w] == color[v] and v > w``); this returns exactly that set,
     vectorized over all edges.
     """
-    u, v = graph.edge_arrays()  # u < v by construction
-    mask = colors[u] == colors[v]
-    return np.unique(v[mask])
+    parts = [v[colors[u] == colors[v]] for u, v in graph.edge_chunks()]  # u < v
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))

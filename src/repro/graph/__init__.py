@@ -36,6 +36,7 @@ from .orderings import (
 )
 from .properties import GraphStats, core_number, degree_stats, graph_stats
 from .datasets import DATASETS, DatasetSpec, load_dataset
+from .store import is_graph_store, load_graph, load_graph_file, save_graph
 
 __all__ = [
     "CSRGraph",
@@ -67,4 +68,8 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "load_dataset",
+    "is_graph_store",
+    "load_graph",
+    "load_graph_file",
+    "save_graph",
 ]

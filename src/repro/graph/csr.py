@@ -19,6 +19,23 @@ import numpy as np
 
 __all__ = ["CSRGraph"]
 
+#: Bytes fed to the hash per update when digesting an array.  Bounds the
+#: transient copy a fingerprint makes, so hashing a memory-mapped graph
+#: streams from disk instead of pulling the whole file into RAM.
+_HASH_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def _hash_chunked(h, arr: np.ndarray) -> None:
+    """Feed *arr*'s buffer to hash *h* in bounded chunks.
+
+    Byte-identical to ``h.update(arr.tobytes())`` — the same byte stream
+    in the same order — but without materializing a full copy, which for
+    a memory-mapped array would be the entire on-disk file.
+    """
+    view = memoryview(np.ascontiguousarray(arr)).cast("B")
+    for offset in range(0, view.nbytes, _HASH_CHUNK_BYTES):
+        h.update(view[offset : offset + _HASH_CHUNK_BYTES])
+
 
 class CSRGraph:
     """Undirected graph in CSR form.
@@ -39,16 +56,34 @@ class CSRGraph:
     a simple graph (a self-loop would make a vertex uncolorable).
     """
 
-    __slots__ = ("indptr", "indices", "_degrees", "_edge_arrays", "_fingerprint")
+    __slots__ = ("indptr", "indices", "mmap_paths", "shared_segments",
+                 "_degrees", "_edge_arrays", "_fingerprint", "__weakref__")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        #: ``(indptr_path, indices_path)`` when the arrays are memory-mapped
+        #: ``.npy`` files from :mod:`repro.graph.store`, else ``None``.
+        self.mmap_paths: tuple[str, str] | None = None
+        #: Parent-side :class:`repro.shm.SharedGraph` cache (set lazily by
+        #: the shm execution path; never pickled).
+        self.shared_segments = None
         self._degrees: np.ndarray | None = None
         self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
         self._fingerprint: str | None = None
         if validate:
             self.check()
+
+    @property
+    def out_of_core(self) -> bool:
+        """True when the CSR arrays stream from memory-mapped files.
+
+        Out-of-core graphs keep their hot paths chunked: the big
+        derived arrays (:meth:`edge_arrays`) are never memoized, and the
+        conflict/invariant scanners iterate :meth:`edge_chunks` instead
+        of materializing every edge at once.
+        """
+        return self.mmap_paths is not None
 
     # ------------------------------------------------------------------
     # structure
@@ -106,12 +141,53 @@ class CSRGraph:
         conflict-detection and modularity kernels call this every round.
         Callers must treat the returned arrays as read-only.
         """
+        if self.out_of_core:
+            # never memoized: pinning 2m entries in RAM would defeat the
+            # memory-mapped store; callers that can stream should iterate
+            # edge_chunks() instead of calling this at all
+            parts = list(self.edge_chunks()) or [
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))]
+            return (np.concatenate([p[0] for p in parts]),
+                    np.concatenate([p[1] for p in parts]))
         if self._edge_arrays is None:
             n = self.num_vertices
             src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
             mask = src < self.indices
             self._edge_arrays = (src[mask], self.indices[mask])
         return self._edge_arrays
+
+    #: Directed entries per edge_chunks() slice — 1M entries is ~24 MiB of
+    #: transient arrays, independent of graph size.
+    EDGE_CHUNK = 1 << 20
+
+    def edge_chunks(self, chunk: int | None = None):
+        """Yield ``(u, v)`` edge arrays (u < v) in bounded-memory chunks.
+
+        For in-RAM graphs this degenerates to one yield of the memoized
+        :meth:`edge_arrays` (zero extra cost); for out-of-core graphs it
+        walks the CSR row structure in slices of at most *chunk* directed
+        entries, so the transient footprint stays constant no matter how
+        large the mapped file is.  Concatenating every yield reproduces
+        :meth:`edge_arrays` exactly.
+        """
+        if not self.out_of_core and chunk is None:
+            yield self.edge_arrays()
+            return
+        limit = int(chunk or self.EDGE_CHUNK)
+        n = self.num_vertices
+        indptr = self.indptr
+        lo = 0
+        while lo < n:
+            target = int(indptr[lo]) + limit
+            hi = int(np.searchsorted(indptr, target, side="right")) - 1
+            hi = min(max(hi, lo + 1), n)
+            start, stop = int(indptr[lo]), int(indptr[hi])
+            src = np.repeat(np.arange(lo, hi, dtype=np.int64),
+                            np.diff(indptr[lo : hi + 1]))
+            dst = np.asarray(self.indices[start:stop])
+            mask = src < dst
+            yield src[mask], dst[mask]
+            lo = hi
 
     # ------------------------------------------------------------------
     # validation / conversion
@@ -183,10 +259,26 @@ class CSRGraph:
             h = hashlib.sha256()
             h.update(b"CSRGraph/v1")
             h.update(np.int64(self.num_vertices).tobytes())
-            h.update(self.indptr.tobytes())
-            h.update(self.indices.tobytes())
+            _hash_chunked(h, self.indptr)
+            _hash_chunked(h, self.indices)
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    def __getstate__(self) -> dict:
+        # transient state never crosses process boundaries: the shm handle
+        # is parent-owned, and the memoized O(m) arrays would bloat pickles
+        return {"indptr": self.indptr, "indices": self.indices,
+                "mmap_paths": self.mmap_paths,
+                "_fingerprint": self._fingerprint}
+
+    def __setstate__(self, state: dict) -> None:
+        self.indptr = state["indptr"]
+        self.indices = state["indices"]
+        self.mmap_paths = state.get("mmap_paths")
+        self.shared_segments = None
+        self._degrees = None
+        self._edge_arrays = None
+        self._fingerprint = state.get("_fingerprint")
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):

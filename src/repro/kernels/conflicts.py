@@ -26,16 +26,28 @@ __all__ = [
 def monochromatic_edges(graph: CSRGraph, colors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Endpoint arrays ``(u, v)`` (u < v) of edges with equal, assigned colors.
 
-    Vertices with color ``-1`` (uncolored) never conflict.
+    Vertices with color ``-1`` (uncolored) never conflict.  Edges stream
+    through :meth:`~repro.graph.csr.CSRGraph.edge_chunks`, so only the
+    (normally tiny) conflicting subset is ever materialized at once —
+    an out-of-core graph is scanned in bounded memory.
     """
-    u, v = graph.edge_arrays()
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0)
-    return u[mask], v[mask]
+    us, vs = [], []
+    for u, v in graph.edge_chunks():
+        mask = (colors[u] == colors[v]) & (colors[u] >= 0)
+        us.append(u[mask])
+        vs.append(v[mask])
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(us), np.concatenate(vs)
 
 
 def count_monochromatic_edges(graph: CSRGraph, colors: np.ndarray) -> int:
-    """Number of monochromatic edges under *colors*."""
-    return int(monochromatic_edges(graph, colors)[0].shape[0])
+    """Number of monochromatic edges under *colors* (streamed)."""
+    return sum(
+        int(np.count_nonzero((colors[u] == colors[v]) & (colors[u] >= 0)))
+        for u, v in graph.edge_chunks()
+    )
 
 
 def detect_conflicts(
@@ -46,13 +58,18 @@ def detect_conflicts(
     This is the resolution rule of the speculation protocol (Çatalyürek et
     al.): of every monochromatic edge whose higher endpoint speculated this
     round, the higher-id endpoint loses and is retried.  Returns a sorted,
-    deduplicated vertex array.
+    deduplicated vertex array.  Streams :meth:`edge_chunks` like the
+    other scanners here.
     """
     in_work = np.zeros(graph.num_vertices, dtype=bool)
     in_work[work_list] = True
-    u, v = graph.edge_arrays()  # u < v
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
-    return np.unique(v[mask])
+    parts = []
+    for u, v in graph.edge_chunks():  # u < v
+        mask = (colors[u] == colors[v]) & (colors[u] >= 0) & in_work[v]
+        parts.append(v[mask])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
 
 
 def bin_sizes(colors: np.ndarray, num_bins: int) -> np.ndarray:

@@ -11,8 +11,39 @@ edge is retried next round — the same protocol as
 playing the role of racing threads (workers cannot see each other's
 in-round proposals, exactly like same-tick peers).
 
-Unlike the simulated loops, real workers can *fail*: a forked process can
-die, hang, or (in principle) return garbage.  Every round therefore runs
+Two transports implement the protocol, selected by ``shm=`` /
+``REPRO_MP_SHM`` (default: shared memory wherever it works):
+
+``shm`` (default)
+    Zero-copy: the CSR arrays, the double-buffered colors snapshot, and
+    the round's work list live in POSIX shared memory
+    (:mod:`repro.shm.segments`) — or, for an out-of-core graph from
+    :mod:`repro.graph.store`, in the OS page cache of its memory-mapped
+    files.  A worker task is a tuple of segment names and ``(start,
+    stop)`` offsets, a few hundred bytes regardless of graph size, and
+    the workers come from the process-wide persistent
+    :class:`repro.shm.WarmPool` — spawned once, reused across rounds
+    *and* jobs.  Proposals still return through the pool's result
+    channel (``n / workers`` entries each): per-attempt results are what
+    make the guarded retry protocol race-free, and they are a small
+    fraction of what the snapshots used to cost.
+
+``pickle`` (legacy)
+    The original transport: a per-job pool whose workers receive the
+    full colors snapshot and their block array every round.  Kept as the
+    fallback for environments without usable shared memory, and as the
+    reference the equivalence tests compare against.
+
+Both transports run the identical protocol on identical inputs, so their
+colorings are bit-identical for fixed ``(num_workers, partition, seed)``
+— the test-suite asserts this.  The start method is no longer hardcoded
+to ``fork``: :func:`repro.shm.pick_context` prefers ``fork`` where
+available and falls back to ``spawn``, and since workers receive all
+bulk data through shm descriptors (or pickled initargs on the legacy
+path), no transport relies on copy-on-write.
+
+Unlike the simulated loops, real workers can *fail*: a process can die,
+hang, or (in principle) return garbage.  Every round therefore runs
 guarded — each block is an :class:`~multiprocessing.pool.AsyncResult`
 collected with a timeout, failed blocks are retried with bounded
 exponential backoff, completed blocks are always salvaged, and a block
@@ -20,19 +51,18 @@ whose retries are exhausted is colored in-process (the degraded path).
 Failures are injected deterministically for testing via a
 :class:`repro.resilience.FaultPlan` (``fault_plan=`` argument or the
 ``REPRO_FAULT_PLAN`` environment variable); recovery from kill/stall/
-corrupt faults reproduces the fault-free coloring bit-identically, because
-a retried block re-colors the same vertices against the same snapshot.
-
-Because each round ships the colors snapshot to every worker, speedups are
-real but modest, and only worthwhile for graphs large enough to amortize
-the IPC; the docstring of :func:`mp_greedy_ff` quantifies the trade-off.
-This backend exists to demonstrate end-to-end correctness of the parallel
-protocol under true concurrency, not to win benchmarks — the performance
-experiments use the machine models (DESIGN.md §2).
+corrupt faults reproduces the fault-free coloring bit-identically,
+because a retried block re-colors the same vertices against the same
+snapshot.  A killed worker is respawned by the pool itself and
+re-attaches to the shared segments lazily from the next task's
+descriptor; the segments are parent-owned, so worker death never leaks
+or destroys them.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
 
 import numpy as np
@@ -43,7 +73,7 @@ from ..graph.csr import CSRGraph
 from ..obs import as_recorder
 from ..resilience import FaultPlan, InjectedFault, resolve_fault_plan
 
-__all__ = ["mp_greedy_ff"]
+__all__ = ["mp_greedy_ff", "resolve_transport"]
 
 #: Per-block-attempt collection timeout (seconds) when none is given.  A
 #: hung or killed worker surfaces as a timeout after at most this long,
@@ -53,17 +83,59 @@ DEFAULT_ROUND_TIMEOUT = 60.0
 #: Retries per failed block before degrading to in-process coloring.
 DEFAULT_MAX_RETRIES = 2
 
-#: Base of the exponential backoff between retry attempts (seconds).
+#: Backoff base of the exponential backoff between retry attempts (seconds).
 DEFAULT_BACKOFF = 0.05
 
-# Worker-process globals, installed by _init_worker (fork-safe: on Linux the
-# arrays are shared copy-on-write, so no per-task graph pickling happens).
+#: Environment switch for the transport: "1"/"on" forces shm, "0"/"off"
+#: forces the legacy pickling path.  Unset: shm wherever it works.
+ENV_SHM = "REPRO_MP_SHM"
+
+# Worker-process globals, installed by _init_worker (legacy transport: on
+# fork the arrays are shared copy-on-write; on spawn they arrive pickled
+# once per worker via initargs).
 _G_GRAPH: CSRGraph | None = None
+
+
+def resolve_transport(shm: bool | None = None) -> str:
+    """Resolve the worker transport: arg > ``REPRO_MP_SHM`` > probe.
+
+    Returns ``"shm"`` or ``"pickle"``.  Asking for shm where shared
+    memory does not work raises; the unset default silently falls back.
+    """
+    from ..shm import shm_available
+
+    if shm is None:
+        env = os.environ.get(ENV_SHM, "").strip().lower()
+        if env in ("1", "true", "on", "yes"):
+            shm = True
+        elif env in ("0", "false", "off", "no"):
+            shm = False
+        elif env:
+            raise ValueError(
+                f"{ENV_SHM} must be a boolean-ish value, got {env!r}")
+    if shm is None:
+        return "shm" if shm_available() else "pickle"
+    if shm and not shm_available():
+        raise RuntimeError(
+            "shm transport requested but POSIX shared memory is unusable "
+            "in this environment; pass shm=False or unset REPRO_MP_SHM")
+    return "shm" if shm else "pickle"
 
 
 def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
     global _G_GRAPH
     _G_GRAPH = CSRGraph(indptr, indices, validate=False)
+
+
+def _apply_fault(fault: tuple | None) -> None:
+    """Apply a worker-side injected fault (kill/stall) before coloring."""
+    if fault is not None:
+        if fault[0] == "kill":
+            os._exit(13)  # hard death: no exception, no cleanup, no result
+        elif fault[0] == "stall":
+            time.sleep(fault[1])
+        elif fault[0] == "raise":  # pragma: no cover - debugging aid
+            raise InjectedFault(f"injected crash in block task {fault}")
 
 
 def _color_block(args: tuple[np.ndarray, np.ndarray, str]) -> np.ndarray:
@@ -81,18 +153,32 @@ def _color_block(args: tuple[np.ndarray, np.ndarray, str]) -> np.ndarray:
 def _color_block_task(
     args: tuple[np.ndarray, np.ndarray, str, tuple | None]
 ) -> np.ndarray:
-    """Worker task: apply any injected fault, then color the block."""
+    """Legacy-transport worker task: apply any fault, then color the block."""
     block, colors, backend, fault = args
-    if fault is not None:
-        if fault[0] == "kill":
-            import os
-
-            os._exit(13)  # hard death: no exception, no cleanup, no result
-        elif fault[0] == "stall":
-            time.sleep(fault[1])
-        elif fault[0] == "raise":  # pragma: no cover - debugging aid
-            raise InjectedFault(f"injected crash in block task {fault}")
+    _apply_fault(fault)
     return _color_block((block, colors, backend))
+
+
+def _color_block_shm(
+    args: tuple[tuple, tuple, int, int, int, str, tuple | None]
+) -> np.ndarray:
+    """shm-transport worker task: attach segments, slice, color, return.
+
+    ``args`` carries no arrays — only the graph / colors segment
+    descriptors, the ``[start, stop)`` slice of the shared work list,
+    and which snapshot row to read (the current one, or the previous
+    round's for an injected ``stale`` fault).  The proposals for the
+    block are returned through the normal result channel.
+    """
+    from ..shm import attach_colors, attach_graph
+
+    gspec, cspec, start, stop, snap_row, backend, fault = args
+    _apply_fault(fault)
+    graph = attach_graph(gspec)
+    snapshots, work = attach_colors(cspec)
+    block = work[start:stop]
+    local = kernels.ff_sweep(graph, block, snapshots[snap_row], backend=backend)
+    return np.ascontiguousarray(local[block])
 
 
 def _valid_proposals(res, block: np.ndarray, num_vertices: int) -> bool:
@@ -123,22 +209,30 @@ def _detect_conflicts_guarded(
     final coloring.  Here the speculating endpoint is retried in that case
     too; the finalized neighbor keeps its color.  On fault-free rounds the
     extra mask is empty, so results stay bit-identical to the classic rule.
+
+    Edges stream through :meth:`~repro.graph.csr.CSRGraph.edge_chunks`,
+    so an out-of-core graph is scanned in bounded memory.
     """
     in_work = np.zeros(graph.num_vertices, dtype=bool)
     in_work[work_list] = True
-    u, v = graph.edge_arrays()  # u < v
-    mono = (colors[u] == colors[v]) & (colors[u] >= 0)
-    retry_hi = mono & in_work[v]
-    retry_lo = mono & in_work[u] & ~in_work[v]
-    return np.unique(np.concatenate([v[retry_hi], u[retry_lo]]))
+    parts: list[np.ndarray] = []
+    for u, v in graph.edge_chunks():  # u < v
+        mono = (colors[u] == colors[v]) & (colors[u] >= 0)
+        retry_hi = mono & in_work[v]
+        retry_lo = mono & in_work[u] & ~in_work[v]
+        parts.append(v[retry_hi])
+        parts.append(u[retry_lo])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
 
 
 def _guarded_round(
     pool,
+    task_fn,
+    make_task,
     blocks: list[np.ndarray],
-    snapshot: np.ndarray,
-    stale: np.ndarray,
-    resolved: str,
+    num_vertices: int,
     plan: FaultPlan,
     round_idx: int,
     *,
@@ -150,15 +244,18 @@ def _guarded_round(
 ) -> list[np.ndarray | None]:
     """Collect one round's block proposals, surviving worker failures.
 
-    Submits every block up front (full parallelism on the happy path),
-    then collects each :class:`AsyncResult` with *timeout*.  A timeout
-    (dead or stalled worker), a raised exception (crashed task), or an
-    invalid proposal array (corruption) marks the attempt failed; the
-    block is resubmitted with exponential backoff up to *max_retries*
-    times.  Returns one proposals array per block, or ``None`` where every
-    attempt failed (the caller degrades those to in-process coloring).
-    Merging is by block order, so the result is independent of completion
-    timing.
+    Transport-agnostic: *make_task*``(w, use_stale, fault)`` builds the
+    argument tuple *task_fn* runs in a worker (full arrays on the legacy
+    path, segment descriptors on the shm path), and *pool* is anything
+    with ``apply_async``.  Submits every block up front (full parallelism
+    on the happy path), then collects each :class:`AsyncResult` with
+    *timeout*.  A timeout (dead or stalled worker), a raised exception
+    (crashed task), or an invalid proposal array (corruption) marks the
+    attempt failed; the block is resubmitted with exponential backoff up
+    to *max_retries* times.  Returns one proposals array per block, or
+    ``None`` where every attempt failed (the caller degrades those to
+    in-process coloring).  Merging is by block order, so the result is
+    independent of completion timing.
     """
     import multiprocessing as mp
 
@@ -166,7 +263,7 @@ def _guarded_round(
         spec = plan.for_task(round_idx, w, attempt)
         fault = None
         corrupt = False
-        snap = snapshot
+        use_stale = False
         if spec is not None:
             stats["injected"] += 1
             if rec.enabled:
@@ -179,9 +276,9 @@ def _guarded_round(
             elif spec.kind == "corrupt":
                 corrupt = True
             elif spec.kind == "stale":
-                snap = stale
-        handle = pool.apply_async(
-            _color_block_task, ((blocks[w], snap, resolved, fault),))
+                use_stale = True
+        args = make_task(w, use_stale, fault)
+        handle = pool.apply_async(task_fn, (args,))
         return handle, corrupt
 
     pending = [submit(w, 0) for w in range(len(blocks))]
@@ -196,7 +293,7 @@ def _guarded_round(
                 res = handle.get(timeout=timeout)
                 if corrupt:
                     res = plan.corrupt(res, round_idx, w)
-                if _valid_proposals(res, block, snapshot.shape[0]):
+                if _valid_proposals(res, block, num_vertices):
                     proposals = res
                 else:
                     reason = "corrupt"
@@ -237,13 +334,15 @@ def mp_greedy_ff(
     round_timeout: float = DEFAULT_ROUND_TIMEOUT,
     max_retries: int = DEFAULT_MAX_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    shm: bool | None = None,
+    context: str | None = None,
 ) -> Coloring:
     """Greedy-FF coloring computed by *num_workers* OS processes.
 
-    Deterministic for fixed ``(num_workers, partition, seed)``.  Worthwhile
-    from roughly 10^5 edges upward; below that, process start-up and
-    snapshot shipping dominate.  Falls back to an in-process pass when
-    ``num_workers == 1``.
+    Deterministic for fixed ``(num_workers, partition, seed)`` — and
+    independent of transport, start method, and pool warmth: the shm and
+    legacy paths run the identical protocol and produce bit-identical
+    colorings.
 
     ``partition`` selects how vertices are split across workers (see
     :mod:`repro.parallel.partition`): ``"block"``, ``"random"``, or
@@ -253,6 +352,15 @@ def mp_greedy_ff(
     ``backend`` selects the per-worker FF-sweep kernel (see
     :mod:`repro.kernels`).  Both backends produce bit-identical block
     colorings, so the overall result is backend-independent.
+
+    ``shm`` picks the transport (see :func:`resolve_transport`): the
+    default uses shared memory — workers receive segment descriptors
+    and offsets instead of pickled snapshots, and run on the persistent
+    process-wide :class:`repro.shm.WarmPool` — falling back to the
+    legacy per-job pickling pool where shared memory is unavailable.
+    ``context`` overrides the start method (``fork``/``spawn``/
+    ``forkserver``; also ``REPRO_MP_CONTEXT``), with ``fork`` preferred
+    and ``spawn`` the portable fallback.
 
     Every round is guarded: each block's :class:`AsyncResult` is collected
     with ``round_timeout`` seconds, failed blocks (dead worker, stalled
@@ -270,13 +378,20 @@ def mp_greedy_ff(
     ``meta["residual"]`` is the number of vertices finished by the
     sequential residual pass after the round cap, and ``meta["degraded"]``
     is True whenever any work bypassed the worker pool (salvage or
-    residual) — truncation is never silent.
+    residual) — truncation is never silent.  ``meta["transport"]`` /
+    ``meta["context"]`` name what actually ran,
+    ``meta["bytes_to_workers"]`` totals the task payload shipped through
+    the pool's pipes (the pickling tax the shm transport removes), and
+    ``meta["pool_reused"]`` says whether the warm pool was already up.
 
     ``recorder`` (optional :class:`repro.obs.Recorder`) gets one
     ``mp_round`` event per speculation round (workers, vertices colored,
-    conflicts) plus ``fault_injected`` / ``fault_detected`` /
-    ``fault_recovered`` / ``mp_salvage`` / ``mp_degraded`` events inside a
-    ``greedy-ff-mp`` phase timer; attaching one never changes the result.
+    conflicts, bytes shipped) plus ``mp_pool`` / ``fault_injected`` /
+    ``fault_detected`` / ``fault_recovered`` / ``mp_salvage`` /
+    ``mp_degraded`` events inside a ``greedy-ff-mp`` phase timer, and
+    the ``mp.bytes_to_workers`` / ``shm.pool.reused`` /
+    ``shm.pool.cold_start`` counters; attaching one never changes the
+    result.
     """
     from .partition import bfs_partition, block_partition, random_partition
 
@@ -301,6 +416,7 @@ def mp_greedy_ff(
     rec = as_recorder(recorder)
     plan = resolve_fault_plan(fault_plan)
     resolved = kernels.resolve_backend(backend)
+    transport = resolve_transport(shm)
     n = graph.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
     work_list = np.arange(n, dtype=np.int64)
@@ -320,7 +436,9 @@ def mp_greedy_ff(
         return Coloring(colors, num_colors, strategy="greedy-ff-mp",
                         meta={"workers": 1, "rounds": 1, "conflicts": 0,
                               "partition": partition, "backend": resolved,
-                              "faults": stats, "degraded": False, "residual": 0})
+                              "faults": stats, "degraded": False, "residual": 0,
+                              "transport": "in-process", "context": None,
+                              "bytes_to_workers": 0, "pool_reused": False})
 
     # the partition fixes a global order; each round splits the remaining
     # work list along it, preserving the partitioner's locality
@@ -330,47 +448,15 @@ def mp_greedy_ff(
         position[part] = np.arange(offset, offset + part.shape[0])
         offset += part.shape[0]
 
-    import multiprocessing as mp
-
-    ctx = mp.get_context("fork")
-    stale_snapshot = colors.copy()  # round -1: everything uncolored
-    with rec.phase("greedy-ff-mp"), ctx.Pool(
-        processes=num_workers,
-        initializer=_init_worker,
-        initargs=(graph.indptr, graph.indices),
-    ) as pool:
-        while work_list.shape[0] and rounds < max_rounds:
-            round_idx = rounds
-            rounds += 1
-            ordered = work_list[np.argsort(position[work_list])]
-            blocks = [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
-            snapshot = colors.copy()
-            results = _guarded_round(
-                pool, blocks, snapshot, stale_snapshot, resolved, plan,
-                round_idx, timeout=round_timeout, max_retries=max_retries,
-                backoff=backoff, rec=rec, stats=stats)
-            salvage = []
-            for b, res in zip(blocks, results):
-                if res is None:
-                    salvage.append(b)
-                else:
-                    colors[b] = res
-            for b in salvage:
-                # degraded path: color the abandoned block in-process, in
-                # block order, against the merged survivors
-                stats["salvaged"] += 1
-                if rec.enabled:
-                    rec.event("mp_salvage", round=round_idx,
-                              vertices=int(b.shape[0]))
-                colors[b] = kernels.ff_sweep(graph, b, colors,
-                                             backend=resolved)[b]
-            stale_snapshot = snapshot
-            attempted = int(work_list.shape[0])
-            work_list = _detect_conflicts_guarded(graph, colors, work_list)
-            total_conflicts += int(work_list.shape[0])
-            if rec.enabled:
-                rec.event("mp_round", index=round_idx, workers=num_workers,
-                          attempted=attempted, conflicts=int(work_list.shape[0]))
+    if transport == "shm":
+        runner = _run_rounds_shm
+    else:
+        runner = _run_rounds_pickle
+    with rec.phase("greedy-ff-mp"):
+        rounds, total_conflicts, work_list, meta_extra = runner(
+            graph, colors, work_list, position, num_workers, max_rounds,
+            resolved, plan, context, round_timeout=round_timeout,
+            max_retries=max_retries, backoff=backoff, rec=rec, stats=stats)
 
     residual = int(work_list.shape[0])
     if residual:  # residual conflicts: finish sequentially
@@ -385,7 +471,7 @@ def mp_greedy_ff(
         rec.event("coloring", strategy="greedy-ff-mp", num_vertices=n,
                   num_colors=num_colors, workers=num_workers, rounds=rounds,
                   conflicts=total_conflicts, backend=resolved,
-                  degraded=degraded)
+                  degraded=degraded, transport=transport)
     return Coloring(
         colors,
         num_colors,
@@ -393,5 +479,156 @@ def mp_greedy_ff(
         meta={"workers": num_workers, "rounds": rounds,
               "conflicts": total_conflicts, "partition": partition,
               "backend": resolved, "faults": stats, "degraded": degraded,
-              "residual": residual},
+              "residual": residual, "transport": transport, **meta_extra},
     )
+
+
+def _split_blocks(ordered: np.ndarray, num_workers: int) -> list[np.ndarray]:
+    """The round's non-empty worker blocks, in partition order."""
+    return [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
+
+
+def _run_rounds_pickle(
+    graph, colors, work_list, position, num_workers, max_rounds, resolved,
+    plan, context, *, round_timeout, max_retries, backoff, rec, stats,
+):
+    """Legacy transport: per-job pool, full snapshot pickled per task."""
+    from ..shm import pick_context
+
+    ctx = pick_context(context)
+    rounds = 0
+    total_conflicts = 0
+    bytes_shipped = 0
+    stale_snapshot = colors.copy()  # round -1: everything uncolored
+    with ctx.Pool(
+        processes=num_workers,
+        initializer=_init_worker,
+        initargs=(graph.indptr, graph.indices),
+    ) as pool:
+        if rec.enabled:
+            rec.event("mp_pool", transport="pickle", reused=False,
+                      context=ctx.get_start_method(), processes=num_workers)
+            rec.count("shm.pool.cold_start")
+        while work_list.shape[0] and rounds < max_rounds:
+            round_idx = rounds
+            rounds += 1
+            ordered = work_list[np.argsort(position[work_list])]
+            blocks = _split_blocks(ordered, num_workers)
+            snapshot = colors.copy()
+            round_bytes = 0
+
+            def make_task(w, use_stale, fault):
+                nonlocal round_bytes
+                snap = stale_snapshot if use_stale else snapshot
+                round_bytes += blocks[w].nbytes + snap.nbytes
+                return (blocks[w], snap, resolved, fault)
+
+            results = _guarded_round(
+                pool, _color_block_task, make_task, blocks, colors.shape[0],
+                plan, round_idx, timeout=round_timeout,
+                max_retries=max_retries, backoff=backoff, rec=rec, stats=stats)
+            work_list, conflicts = _merge_round(
+                graph, colors, blocks, results, work_list, resolved, plan,
+                round_idx, rec, stats)
+            total_conflicts += conflicts
+            bytes_shipped += round_bytes
+            stale_snapshot = snapshot
+            if rec.enabled:
+                rec.count("mp.bytes_to_workers", round_bytes)
+                rec.event("mp_round", index=round_idx, workers=num_workers,
+                          attempted=int(sum(b.shape[0] for b in blocks)),
+                          conflicts=int(work_list.shape[0]),
+                          bytes_to_workers=round_bytes)
+    return rounds, total_conflicts, work_list, {
+        "context": ctx.get_start_method(), "bytes_to_workers": bytes_shipped,
+        "pool_reused": False}
+
+
+def _run_rounds_shm(
+    graph, colors, work_list, position, num_workers, max_rounds, resolved,
+    plan, context, *, round_timeout, max_retries, backoff, rec, stats,
+):
+    """shm transport: warm pool, segment descriptors, offset-only tasks."""
+    from ..shm import SharedColors, SharedGraph, warm_pool
+
+    shared_graph = SharedGraph.for_graph(graph)
+    shared_colors = SharedColors(graph.num_vertices)
+    pool = warm_pool()
+    reused = pool.ensure(num_workers, context=context)
+    if rec.enabled:
+        rec.event("mp_pool", transport="shm", reused=reused,
+                  context=pool.context, processes=pool.processes)
+        rec.count("shm.pool.reused" if reused else "shm.pool.cold_start")
+    rounds = 0
+    total_conflicts = 0
+    bytes_shipped = 0
+    # row parity: round r's snapshot lives in row r % 2, so row (r+1) % 2
+    # still holds the previous round's view — the "stale" fault reads it
+    # without any extra copy.  Row 1 starts all-uncolored (round -1).
+    shared_colors.snapshots[1].fill(-1)
+    try:
+        while work_list.shape[0] and rounds < max_rounds:
+            round_idx = rounds
+            rounds += 1
+            ordered = work_list[np.argsort(position[work_list])]
+            blocks = _split_blocks(ordered, num_workers)
+            cur = round_idx % 2
+            shared_colors.snapshots[cur][:] = colors
+            k = ordered.shape[0]
+            shared_colors.work[:k] = ordered
+            bounds = np.cumsum([0] + [b.shape[0] for b in blocks])
+            round_bytes = 0
+
+            def make_task(w, use_stale, fault):
+                nonlocal round_bytes
+                row = (1 - cur) if use_stale else cur
+                args = (shared_graph.spec, shared_colors.spec,
+                        int(bounds[w]), int(bounds[w + 1]), row, resolved,
+                        fault)
+                round_bytes += len(pickle.dumps(args))
+                return args
+
+            results = _guarded_round(
+                pool, _color_block_shm, make_task, blocks, colors.shape[0],
+                plan, round_idx, timeout=round_timeout,
+                max_retries=max_retries, backoff=backoff, rec=rec, stats=stats)
+            work_list, conflicts = _merge_round(
+                graph, colors, blocks, results, work_list, resolved, plan,
+                round_idx, rec, stats)
+            total_conflicts += conflicts
+            bytes_shipped += round_bytes
+            if rec.enabled:
+                rec.count("mp.bytes_to_workers", round_bytes)
+                rec.event("mp_round", index=round_idx, workers=num_workers,
+                          attempted=int(k), conflicts=int(work_list.shape[0]),
+                          bytes_to_workers=round_bytes)
+    finally:
+        shared_colors.close()
+    return rounds, total_conflicts, work_list, {
+        "context": pool.context, "bytes_to_workers": bytes_shipped,
+        "pool_reused": reused}
+
+
+def _merge_round(graph, colors, blocks, results, work_list, resolved, plan,
+                 round_idx, rec, stats):
+    """Merge one round's proposals (salvaging failures) and detect conflicts.
+
+    Identical for both transports — this is what makes them bit-identical:
+    same blocks, same snapshot semantics, same merge order, same guarded
+    conflict rule.
+    """
+    salvage = []
+    for b, res in zip(blocks, results):
+        if res is None:
+            salvage.append(b)
+        else:
+            colors[b] = res
+    for b in salvage:
+        # degraded path: color the abandoned block in-process, in block
+        # order, against the merged survivors
+        stats["salvaged"] += 1
+        if rec.enabled:
+            rec.event("mp_salvage", round=round_idx, vertices=int(b.shape[0]))
+        colors[b] = kernels.ff_sweep(graph, b, colors, backend=resolved)[b]
+    new_work = _detect_conflicts_guarded(graph, colors, work_list)
+    return new_work, int(new_work.shape[0])

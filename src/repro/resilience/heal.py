@@ -90,13 +90,17 @@ def check_invariants(
             "uncolored", uncolored,
             f"{uncolored.size} uncolored vertices (first: {int(uncolored[0])})"))
 
-    u, v = graph.edge_arrays()  # u < v by construction
-    mask = (colors[u] == colors[v]) & (colors[u] >= 0)
-    if mask.any():
-        losers = np.unique(v[mask])
+    mono = 0
+    loser_parts = []
+    for u, v in graph.edge_chunks():  # u < v; streamed for out-of-core graphs
+        mask = (colors[u] == colors[v]) & (colors[u] >= 0)
+        mono += int(np.count_nonzero(mask))
+        loser_parts.append(v[mask])
+    if mono:
+        losers = np.unique(np.concatenate(loser_parts))
         violations.append(Violation(
             "conflict", losers,
-            f"{int(np.count_nonzero(mask))} monochromatic edges, "
+            f"{mono} monochromatic edges, "
             f"{losers.size} losing endpoints"))
 
     if num_colors is not None:

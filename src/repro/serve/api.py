@@ -4,9 +4,12 @@ The protocol is deliberately small and JSON-only:
 
 - ``POST /submit`` — body ``{"input": name, "scale": s, "seed": gseed,
   "config": {RunConfig.to_dict()}}``; loads the named dataset stand-in,
-  validates the config, and admits a job.  Replies ``202`` with
-  ``{"job_id", "key", "status"}``, ``400`` for malformed requests, or
-  ``429`` with the admission reason under backpressure.
+  validates the config, and admits a job.  ``{"graph_file": path, ...}``
+  instead of ``input`` colors a server-side graph file or
+  :mod:`repro.graph.store` directory (stores open memory-mapped, so a
+  graph bigger than the cache budget serves out-of-core).  Replies
+  ``202`` with ``{"job_id", "key", "status"}``, ``400`` for malformed
+  requests, or ``429`` with the admission reason under backpressure.
 - ``GET /result/<id>[?colors=1]`` — job lifecycle summary (``404`` for
   unknown ids); once done, balance/color counts, and the full coloring
   array when ``colors=1`` is asked for.
@@ -67,14 +70,19 @@ def dispatch(service: ColoringService, method: str, path: str,
 def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
     if not isinstance(body, dict):
         return 400, {"error": "submit body must be a JSON object"}
-    unknown = sorted(set(body) - {"input", "scale", "seed", "config"})
+    unknown = sorted(set(body) - {"input", "scale", "seed", "config",
+                                  "graph_file"})
     if unknown:
         return 400, {"error": f"unknown submit field(s) {unknown}; expected "
-                              "input/scale/seed/config"}
-    name = body.get("input", "cnr")
-    if name not in DATASETS:
-        return 400, {"error": f"unknown input {name!r}; choose from "
-                              f"{sorted(DATASETS)}"}
+                              "input/scale/seed/config/graph_file"}
+    graph_file = body.get("graph_file")
+    if graph_file is not None and "input" in body:
+        return 400, {"error": "give either 'input' or 'graph_file', not both"}
+    if graph_file is None:
+        name = body.get("input", "cnr")
+        if name not in DATASETS:
+            return 400, {"error": f"unknown input {name!r}; choose from "
+                                  f"{sorted(DATASETS)}"}
     try:
         scale = float(body.get("scale", 0.25))
         graph_seed = int(body.get("seed", 0))
@@ -82,7 +90,12 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
         return 400, {"error": "scale must be a number and seed an int"}
     try:
         config = RunConfig.from_dict(body.get("config", {}))
-        graph = load_dataset(name, scale=scale, seed=graph_seed)
+        if graph_file is not None:
+            from ..graph.store import load_graph_file
+
+            graph = load_graph_file(str(graph_file))
+        else:
+            graph = load_dataset(name, scale=scale, seed=graph_seed)
     except ValueError as exc:
         return 400, {"error": str(exc)}
     try:

@@ -73,12 +73,34 @@ class ColoringService:
         return self.queue.job(job_id)
 
     def stats(self) -> dict:
-        """One JSON-ready dict: queue, scheduler, and cache counters."""
+        """One JSON-ready dict: queue, scheduler, cache, and pool counters."""
+        from ..shm import warm_pool
+
         return {
             "queue": self.queue.stats(),
             "scheduler": self.scheduler.stats(),
             "cache": self.cache.stats(),
+            "pool": warm_pool().stats(),
         }
+
+    def prewarm(self, workers: int) -> bool:
+        """Spin the process-wide warm worker pool up front; True on reuse.
+
+        The pool is shared with every mp-mode job this process runs, so
+        prewarming at service start moves the one-time worker spawn out
+        of the first job's latency (see ``benchmarks/bench_shm.py`` for
+        the measured difference).  A no-op when the pool is already at
+        least *workers* wide.
+        """
+        from ..shm import shm_available, warm_pool
+
+        if not shm_available():  # pragma: no cover - env dependent
+            return False
+        reused = warm_pool().ensure(workers)
+        if self.recorder.enabled:
+            self.recorder.event("serve_prewarm", workers=workers,
+                                reused=reused)
+        return reused
 
     def healthz(self) -> dict:
         """Liveness summary for load balancers: status + backlog."""

@@ -1,0 +1,175 @@
+"""A persistent, process-wide warm worker pool.
+
+The legacy mp backend built a fresh ``fork`` Pool per job: every
+``execute()`` paid process start-up, and spawn-only platforms (macOS,
+Windows, some hardened Linux configurations) did not work at all because
+the workers relied on copy-on-write globals.  This module provides the
+replacement substrate:
+
+- :func:`pick_context` selects a start method — ``fork`` where the
+  platform offers it (cheapest), otherwise ``spawn`` — overridable with
+  the ``REPRO_MP_CONTEXT`` environment variable.  Workers receive their
+  data exclusively through :mod:`repro.shm.segments` descriptors, so
+  every start method behaves identically; nothing depends on
+  copy-on-write.
+- :class:`WarmPool` wraps one ``multiprocessing.Pool`` that is created
+  on first use and *reused* across rounds and jobs.  ``ensure(n)``
+  grows the pool when a job needs more workers and counts
+  reuse/cold-start events; ``multiprocessing.Pool`` itself respawns a
+  worker that dies mid-task (the ``kill`` fault), and the respawned
+  worker re-attaches to segments lazily from task descriptors, so a
+  worker death never poisons the pool or leaks a segment.
+- :func:`warm_pool` is the process-wide singleton the mp backend and the
+  serving layer share — spawned once per process/service, exactly the
+  shape ROADMAP item 3 asks for.  :func:`shutdown_warm_pool` tears it
+  down (tests, interpreter exit).
+
+Determinism is unaffected: the pool only runs block-coloring tasks whose
+results are merged in block order, so *which* worker computes a block
+never influences the coloring.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import threading
+
+__all__ = [
+    "WarmPool",
+    "pick_context",
+    "shutdown_warm_pool",
+    "warm_pool",
+]
+
+#: Environment override for the start method (``fork`` / ``spawn`` /
+#: ``forkserver``).  Unset picks ``fork`` when available, else ``spawn``.
+ENV_CONTEXT = "REPRO_MP_CONTEXT"
+
+
+def pick_context(method: str | None = None):
+    """Resolve a multiprocessing context: arg > env > fork-else-spawn."""
+    available = mp.get_all_start_methods()
+    name = method or os.environ.get(ENV_CONTEXT, "").strip() or None
+    if name is None:
+        name = "fork" if "fork" in available else "spawn"
+    if name not in available:
+        raise ValueError(
+            f"start method {name!r} not available on this platform; "
+            f"choose from {available}"
+        )
+    return mp.get_context(name)
+
+
+class WarmPool:
+    """One lazily created, persistently reused multiprocessing pool.
+
+    The pool is sized to the largest worker count any job has asked for;
+    a job that needs fewer workers simply leaves the extras idle (they
+    hold no per-job state — tasks carry segment descriptors).  Shrinking
+    is deliberately not supported: pools are cheap to keep and expensive
+    to rebuild.
+    """
+
+    def __init__(self, *, context: str | None = None):
+        self._method = context
+        self._pool = None
+        self._processes = 0
+        self._lock = threading.RLock()
+        self._stats = {"cold_starts": 0, "reused": 0, "jobs": 0,
+                       "grown": 0}
+
+    # ------------------------------------------------------------------
+    def ensure(self, processes: int, *, context: str | None = None) -> bool:
+        """Make the pool usable with *processes* workers; True on reuse.
+
+        Creates the pool on first call (a *cold start*), grows it when a
+        job asks for more workers than it has (counted under ``grown`` —
+        still a cold start for latency purposes), and otherwise reuses
+        it untouched.  ``context`` only matters for the call that
+        creates the pool; it cannot change afterwards.
+        """
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        with self._lock:
+            self._stats["jobs"] += 1
+            if self._pool is not None and processes <= self._processes:
+                self._stats["reused"] += 1
+                return True
+            grown = self._pool is not None
+            if grown:
+                self._stats["grown"] += 1
+                self._teardown()
+            ctx = pick_context(context or self._method)
+            self._method = ctx.get_start_method()
+            # no initializer/initargs: workers are stateless until the
+            # first task hands them segment descriptors to attach
+            self._pool = ctx.Pool(processes=processes)
+            self._processes = processes
+            self._stats["cold_starts"] += 1
+            return False
+
+    def apply_async(self, fn, args: tuple):
+        """Submit one task; the pool must have been ``ensure``-d first."""
+        with self._lock:
+            if self._pool is None:
+                raise RuntimeError("WarmPool.ensure() must run before submit")
+            return self._pool.apply_async(fn, args)
+
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> int:
+        """Current pool width (0 before the first ``ensure``)."""
+        return self._processes
+
+    @property
+    def context(self) -> str | None:
+        """The start method in use, once the pool exists."""
+        return self._method
+
+    def stats(self) -> dict:
+        """Reuse/cold-start counters plus the pool's current shape."""
+        with self._lock:
+            return {**self._stats, "processes": self._processes,
+                    "context": self._method}
+
+    def _teardown(self) -> None:
+        pool, self._pool = self._pool, None
+        self._processes = 0
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def shutdown(self) -> None:
+        """Terminate the workers (idempotent); counters survive."""
+        with self._lock:
+            self._teardown()
+
+
+# ----------------------------------------------------------------------
+# process-wide singleton
+# ----------------------------------------------------------------------
+_SINGLETON: WarmPool | None = None
+_SINGLETON_LOCK = threading.Lock()
+
+
+def warm_pool() -> WarmPool:
+    """The process-wide :class:`WarmPool`, created on first use."""
+    global _SINGLETON
+    with _SINGLETON_LOCK:
+        if _SINGLETON is None:
+            _SINGLETON = WarmPool()
+        return _SINGLETON
+
+
+def shutdown_warm_pool() -> None:
+    """Tear down the singleton's workers (kept: counters reset too)."""
+    global _SINGLETON
+    with _SINGLETON_LOCK:
+        if _SINGLETON is not None:
+            _SINGLETON.shutdown()
+            _SINGLETON = None
+
+
+atexit.register(shutdown_warm_pool)

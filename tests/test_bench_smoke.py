@@ -1,11 +1,13 @@
 """Smoke coverage for the benchmark CLIs.
 
-Runs ``benchmarks/bench_kernels.py --quick`` and
-``benchmarks/bench_serve.py --quick`` in subprocesses against their
-checked-in baselines (``BENCH_kernels.json`` / ``BENCH_serve.json``): a
+Runs ``benchmarks/bench_kernels.py --quick``,
+``benchmarks/bench_serve.py --quick``, and ``benchmarks/bench_shm.py
+--quick`` in subprocesses against their checked-in baselines
+(``BENCH_kernels.json`` / ``BENCH_serve.json`` / ``BENCH_shm.json``): a
 test fails if the script crashes or if the ``--check`` regression gate
 trips (kernel speedup halved; serving efficiency halved, hit rate below
-the trace's ideal, or redundant ``execute`` calls).
+the trace's ideal, or redundant ``execute`` calls; shm bytes ratio
+under 5x, warm-pool miss, or RSS blowup).
 """
 
 import json
@@ -20,6 +22,8 @@ BENCH = REPO_ROOT / "benchmarks" / "bench_kernels.py"
 BASELINE = REPO_ROOT / "BENCH_kernels.json"
 BENCH_SERVE = REPO_ROOT / "benchmarks" / "bench_serve.py"
 BASELINE_SERVE = REPO_ROOT / "BENCH_serve.json"
+BENCH_SHM = REPO_ROOT / "benchmarks" / "bench_shm.py"
+BASELINE_SHM = REPO_ROOT / "BENCH_shm.json"
 
 
 def test_baseline_artifact_shows_target_speedup():
@@ -89,3 +93,35 @@ def test_quick_serve_bench_runs_and_passes_baseline_check(tmp_path):
     assert payload["meta"]["mode"] == "quick"
     workloads = {r["workload"] for r in payload["results"]}
     assert workloads == {"mixed_ff_10x", "superstep_vff_10x"}
+
+
+def test_shm_baseline_artifact_meets_acceptance_floors():
+    """The checked-in shm artifact must show the PR's acceptance numbers:
+    >=5x fewer bytes shipped per round, bit-identical colorings, a warm
+    pool that is never slower than cold, and an mmap load that stays
+    well under the resident footprint."""
+    payload = json.loads(BASELINE_SHM.read_text())
+    results = payload["results"]
+    assert results["bytes"]["ratio"] >= 5.0
+    assert results["bytes"]["bit_identical"] is True
+    assert results["pool"]["warm_speedup"] >= 1.0
+    assert results["pool"]["pool_reused_jobs"] >= results["pool"]["repeats"]
+    assert (results["rss"]["mmap_delta_kib"] * 2
+            <= results["rss"]["resident_delta_kib"])
+
+
+@pytest.mark.slow
+def test_quick_shm_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_shm_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_SHM), "--quick", "--out", str(out),
+         "--check", str(BASELINE_SHM)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    assert set(payload["results"]) == {"bytes", "pool", "rss"}

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark incremental recoloring against a full re-color under churn.
+
+For each (graph, churn-fraction) workload: build the graph, color it
+once, apply a :func:`~repro.graph.random_churn` delta, then time two
+ways of fixing up the coloring on the mutated graph —
+
+- **full**: ``balanced_recoloring(mutated, carry_forward(mutated, base))``,
+  the bit-parity definition of a from-scratch re-color that the
+  unbounded incremental path must match exactly;
+- **incremental**: ``incremental_recolor(..., staleness_budget=0.05)``,
+  the localized repair + drain the ``incremental`` strategy runs.
+
+Writes ``BENCH_incremental.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py            # full
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick    # CI smoke
+
+``--check BASELINE.json`` gates the acceptance criteria: on any row
+with >= 1e5 edges and <= 1% churn the incremental path must stay >= 5x
+faster than the full re-color; every row must produce a proper coloring
+whose touched fraction respects the staleness budget; and no row may
+regress below half its recorded speedup.
+
+This file is a CLI script, not a pytest benchmark — the pytest smoke
+coverage lives in ``tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.coloring import (  # noqa: E402
+    balanced_recoloring,
+    carry_forward,
+    greedy_coloring,
+    incremental_recolor,
+    is_proper,
+)
+from repro.graph import apply_delta, erdos_renyi_graph, random_churn  # noqa: E402
+
+#: Staleness budget the bounded rows run under (the strategy default).
+BUDGET = 0.05
+
+# (name, vertices, edge probability, churn fractions)
+FULL_WORKLOADS = [
+    ("er_180k_edges", 60_000, 1.0e-4, (0.001, 0.01)),
+    ("er_400k_edges", 100_000, 8.0e-5, (0.001, 0.01)),
+]
+QUICK_WORKLOADS = [
+    ("er_25k_edges", 5_000, 2.0e-3, (0.001, 0.01)),
+]
+
+
+def _best_of(repeats: int, fn):
+    """Minimum wall time over *repeats* calls; returns (seconds, last result)."""
+    best, result = math.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_workload(name: str, n: int, p: float, churns, repeats: int):
+    """One graph, one base coloring, one row per churn fraction."""
+    graph = erdos_renyi_graph(n, p, seed=1)
+    base = balanced_recoloring(graph, greedy_coloring(graph))
+    rows = []
+    for churn in churns:
+        batch = random_churn(graph, churn, seed=7)
+        mutated, dirty = apply_delta(graph, batch)
+
+        full_s, full = _best_of(
+            repeats,
+            lambda: balanced_recoloring(mutated, carry_forward(mutated, base)))
+        inc_s, inc = _best_of(
+            repeats,
+            lambda: incremental_recolor(mutated, base, dirty=dirty,
+                                        staleness_budget=BUDGET))
+
+        touched = inc.meta["seeded"] + inc.meta["repaired"] + inc.meta["moves"]
+        max_touch = max(int(np.ceil(BUDGET * mutated.num_vertices)), 1)
+        row = {
+            "workload": name,
+            "vertices": mutated.num_vertices,
+            "edges": mutated.num_edges,
+            "churn": churn,
+            "dirty": int(dirty.size),
+            "budget": BUDGET,
+            "full_s": round(full_s, 6),
+            "incremental_s": round(inc_s, 6),
+            "speedup": round(full_s / inc_s, 3),
+            "touched": int(touched),
+            "max_touch": max_touch,
+            "recolored_fraction": round(inc.meta["recolored_fraction"], 6),
+            "proper": bool(is_proper(mutated, inc)),
+            "num_colors_full": full.num_colors,
+            "num_colors_incremental": inc.num_colors,
+            "rsd_full": round(inc.meta["rsd_percent"], 4),
+        }
+        rows.append(row)
+        print(f"{name:>15}  churn {churn:6.3%}  m={row['edges']:>7d}  "
+              f"full {full_s:7.3f}s  inc {inc_s:7.3f}s  "
+              f"{row['speedup']:6.2f}x  touched {touched}/{max_touch}",
+              flush=True)
+    return rows
+
+
+def check_against_baseline(results, baseline_path: Path) -> int:
+    """Return 1 on: improper result, budget blown, <5x on a gated row,
+    or a >2x speedup regression vs the recorded baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    recorded = {(r["workload"], r["churn"]): r for r in baseline["results"]}
+    failures = []
+    for row in results:
+        tag = f"{row['workload']} @ {row['churn']:.3%}"
+        if not row["proper"]:
+            failures.append(f"{tag}: incremental coloring is not proper")
+        if row["touched"] > row["max_touch"]:
+            failures.append(
+                f"{tag}: touched {row['touched']} vertices > staleness "
+                f"budget cap {row['max_touch']}"
+            )
+        # the headline acceptance gate: big graph, small churn => >= 5x
+        if row["edges"] >= 100_000 and row["churn"] <= 0.01:
+            if row["speedup"] < 5.0:
+                failures.append(
+                    f"{tag}: speedup {row['speedup']:.2f}x < 5x acceptance "
+                    f"floor ({row['edges']} edges)"
+                )
+        base = recorded.get((row["workload"], row["churn"]))
+        if base is not None and row["speedup"] < base["speedup"] / 2.0:
+            failures.append(
+                f"{tag}: speedup {row['speedup']:.2f}x < half the recorded "
+                f"{base['speedup']:.2f}x"
+            )
+    if failures:
+        print("BASELINE CHECK FAILED:", file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print(f"baseline check OK ({len(results)} rows)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graphs, single repeat (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_incremental.json",
+                        help="output JSON path")
+    parser.add_argument("--check", type=Path, metavar="BASELINE",
+                        help="compare against a recorded baseline; exit 1 on "
+                        "an improper result, a blown staleness budget, <5x "
+                        "on a 1e5+-edge low-churn row, or a >2x regression")
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    repeats = 1 if args.quick else 3
+    results = []
+    for name, n, p, churns in workloads:
+        results.extend(bench_workload(name, n, p, churns, repeats))
+
+    payload = {
+        "meta": {
+            "mode": "quick" if args.quick else "full",
+            "budget": BUDGET,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        return check_against_baseline(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

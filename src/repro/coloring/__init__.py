@@ -30,6 +30,7 @@ from .verify import assert_proper, count_conflicts, is_proper
 from .shuffled import shuffle_balance
 from .scheduled import scheduled_balance, plan_moves
 from .recolor import balanced_recoloring, iterated_greedy
+from .incremental import carry_forward, incremental_recolor
 from .strategies import STRATEGIES, balance_coloring, color_and_balance
 from .jp import jones_plassmann
 from .kempe import kempe_balance, kempe_chains
@@ -53,6 +54,8 @@ __all__ = [
     "plan_moves",
     "balanced_recoloring",
     "iterated_greedy",
+    "carry_forward",
+    "incremental_recolor",
     "STRATEGIES",
     "balance_coloring",
     "color_and_balance",

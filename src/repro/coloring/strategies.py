@@ -172,6 +172,18 @@ def _seq_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
     return balanced_recoloring(graph, initial, recorder=recorder, **kwargs)
 
 
+@_accepts("dirty", "staleness_budget", "backend")
+def _seq_incremental(graph: CSRGraph, initial: Coloring | None = None, *,
+                     threads: int = 1, seed=None, recorder=None,
+                     **kwargs) -> Coloring:
+    # deterministic: `seed` accepted for API uniformity only.  `initial`
+    # here is the BASE coloring being carried forward, not a fresh seed —
+    # the run layer passes it straight through from the mutation caller.
+    from .incremental import incremental_recolor
+
+    return incremental_recolor(graph, initial, recorder=recorder, **kwargs)
+
+
 @_accepts("max_passes")
 def _seq_kempe(graph: CSRGraph, initial: Coloring | None = None, *,
                threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
@@ -235,6 +247,16 @@ def _superstep_recoloring(graph: CSRGraph, initial: Coloring | None = None, *,
 
     return parallel_recoloring(graph, initial, num_threads=threads,
                                recorder=recorder, **kwargs)
+
+
+@_accepts("dirty", "staleness_budget", "max_rounds")
+def _superstep_incremental(graph: CSRGraph, initial: Coloring | None = None, *,
+                           threads: int = 1, seed=None, recorder=None,
+                           **kwargs) -> Coloring:
+    from ..parallel.incremental import parallel_incremental_recolor
+
+    return parallel_incremental_recolor(graph, initial, num_threads=threads,
+                                        recorder=recorder, **kwargs)
 
 
 # --------------------------------------------------------------------------
@@ -319,6 +341,12 @@ STRATEGIES: dict[str, StrategySpec] = {
         "Reverse-class FF recoloring under capacity γ",
         sequential=_seq_recoloring,
         superstep=_superstep_recoloring,
+    ),
+    "incremental": _spec(
+        "incremental", "guided", False,
+        "Localized repair + drain of a carried-forward coloring after churn",
+        sequential=_seq_incremental,
+        superstep=_superstep_incremental,
     ),
     "kempe": _spec(
         "kempe", "guided", True,

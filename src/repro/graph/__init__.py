@@ -7,6 +7,7 @@ layout the coloring kernels' access patterns are designed around.
 """
 
 from .csr import CSRGraph
+from .delta import MutationBatch, apply_delta, parse_mutation_spec, random_churn
 from .build import (
     from_adjacency,
     from_edge_arrays,
@@ -40,6 +41,10 @@ from .store import is_graph_store, load_graph, load_graph_file, save_graph
 
 __all__ = [
     "CSRGraph",
+    "MutationBatch",
+    "apply_delta",
+    "parse_mutation_spec",
+    "random_churn",
     "from_edge_arrays",
     "from_edge_list",
     "from_adjacency",

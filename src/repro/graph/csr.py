@@ -25,6 +25,19 @@ __all__ = ["CSRGraph"]
 _HASH_CHUNK_BYTES = 4 * 1024 * 1024
 
 
+def _frozen_view(arr: np.ndarray) -> np.ndarray:
+    """A non-writeable view of *arr* (the caller's array stays writeable).
+
+    Graph identity (``__eq__``/``__hash__``/``fingerprint``) is cached on
+    the assumption that the CSR arrays never change after construction;
+    freezing the stored views turns an accidental in-place write into an
+    immediate ``ValueError`` instead of a silently stale cache key.
+    """
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
 def _hash_chunked(h, arr: np.ndarray) -> None:
     """Feed *arr*'s buffer to hash *h* in bounded chunks.
 
@@ -60,8 +73,8 @@ class CSRGraph:
                  "_degrees", "_edge_arrays", "_fingerprint", "__weakref__")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
-        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.indptr = _frozen_view(np.ascontiguousarray(indptr, dtype=np.int64))
+        self.indices = _frozen_view(np.ascontiguousarray(indices, dtype=np.int64))
         #: ``(indptr_path, indices_path)`` when the arrays are memory-mapped
         #: ``.npy`` files from :mod:`repro.graph.store`, else ``None``.
         self.mmap_paths: tuple[str, str] | None = None
@@ -243,6 +256,42 @@ class CSRGraph:
         return from_edge_arrays(relabel[u[keep]], relabel[v[keep]], num_vertices=len(vertices))
 
     # ------------------------------------------------------------------
+    # mutation (always returns a new graph; self is never modified)
+    # ------------------------------------------------------------------
+    def mutate(self, batch) -> tuple["CSRGraph", np.ndarray]:
+        """Apply a :class:`~repro.graph.delta.MutationBatch`.
+
+        Returns ``(mutated_graph, dirty_vertices)``; ``self`` is untouched
+        (its arrays are frozen and its cached fingerprint stays valid).
+        See :func:`repro.graph.delta.apply_delta`.
+        """
+        from .delta import apply_delta
+
+        return apply_delta(self, batch)
+
+    def add_edges(self, u, v) -> tuple["CSRGraph", np.ndarray]:
+        """New graph with edges ``{u[i], v[i]}`` added, plus dirty vertices."""
+        from .delta import MutationBatch
+
+        pairs = np.column_stack([np.atleast_1d(np.asarray(u, dtype=np.int64)),
+                                 np.atleast_1d(np.asarray(v, dtype=np.int64))])
+        return self.mutate(MutationBatch.from_edges(add=pairs))
+
+    def remove_edges(self, u, v) -> tuple["CSRGraph", np.ndarray]:
+        """New graph with edges ``{u[i], v[i]}`` removed, plus dirty vertices."""
+        from .delta import MutationBatch
+
+        pairs = np.column_stack([np.atleast_1d(np.asarray(u, dtype=np.int64)),
+                                 np.atleast_1d(np.asarray(v, dtype=np.int64))])
+        return self.mutate(MutationBatch.from_edges(remove=pairs))
+
+    def add_vertices(self, count: int) -> tuple["CSRGraph", np.ndarray]:
+        """New graph with *count* isolated vertices appended (ids ``n..n+count-1``)."""
+        from .delta import MutationBatch
+
+        return self.mutate(MutationBatch.from_edges(add_vertices=count))
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, max_deg={self.max_degree})"
 
@@ -272,8 +321,8 @@ class CSRGraph:
                 "_fingerprint": self._fingerprint}
 
     def __setstate__(self, state: dict) -> None:
-        self.indptr = state["indptr"]
-        self.indices = state["indices"]
+        self.indptr = _frozen_view(np.asarray(state["indptr"]))
+        self.indices = _frozen_view(np.asarray(state["indices"]))
         self.mmap_paths = state.get("mmap_paths")
         self.shared_segments = None
         self._degrees = None

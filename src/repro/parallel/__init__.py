@@ -28,6 +28,7 @@ from .greedy import parallel_greedy_ff
 from .shuffled import parallel_shuffle_balance
 from .scheduled import parallel_scheduled_balance
 from .recolor import parallel_recoloring
+from .incremental import parallel_incremental_recolor
 from .partition import bfs_partition, block_partition, cut_edges, random_partition
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "parallel_shuffle_balance",
     "parallel_scheduled_balance",
     "parallel_recoloring",
+    "parallel_incremental_recolor",
     "block_partition",
     "random_partition",
     "bfs_partition",

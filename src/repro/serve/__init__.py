@@ -32,7 +32,12 @@ or served from cache.  See DESIGN.md §11::
 """
 
 from .cache import DEFAULT_MAX_BYTES, ResultCache
-from .fingerprint import config_fingerprint, graph_fingerprint, job_key
+from .fingerprint import (
+    config_fingerprint,
+    graph_fingerprint,
+    job_key,
+    mutation_job_key,
+)
 from .queue import (
     DEFAULT_MAX_PENDING,
     JOB_STATES,
@@ -41,7 +46,7 @@ from .queue import (
     SubmissionQueue,
 )
 from .scheduler import BatchScheduler
-from .service import ColoringService
+from .service import ColoringService, MutationError
 
 __all__ = [
     "AdmissionError",
@@ -51,9 +56,11 @@ __all__ = [
     "DEFAULT_MAX_PENDING",
     "JOB_STATES",
     "Job",
+    "MutationError",
     "ResultCache",
     "SubmissionQueue",
     "config_fingerprint",
     "graph_fingerprint",
     "job_key",
+    "mutation_job_key",
 ]

@@ -34,12 +34,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from ..graph.datasets import DATASETS, load_dataset
+from ..graph.delta import MutationBatch
 from ..run.config import RunConfig
 from .queue import AdmissionError
-from .service import ColoringService
+from .service import ColoringService, MutationError
 
 __all__ = ["ServeHandler", "dispatch", "fetch_json", "make_server",
-           "submit_job", "wait_for_result"]
+           "mutate_job", "submit_job", "wait_for_result"]
 
 
 # ----------------------------------------------------------------------
@@ -58,6 +59,8 @@ def dispatch(service: ColoringService, method: str, path: str,
 
     if method == "POST" and route == "/submit":
         return _submit(service, body or {})
+    if method == "POST" and route == "/mutate":
+        return _mutate(service, body or {})
     if method == "GET" and route.startswith("/result/"):
         return _result(service, route[len("/result/"):], query)
     if method == "GET" and route == "/stats":
@@ -104,6 +107,60 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
         status = 429 if exc.reason.startswith("queue full") else 400
         return status, {"error": exc.reason}
     return 202, {"job_id": job.id, "key": job.key, "status": job.status}
+
+
+def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
+    """``POST /mutate``: incremental re-color of a finished job's graph.
+
+    Body: ``{"base_job_id": id, "delta": MutationBatch.to_dict(),
+    "staleness_budget": f|null, "mode": m, "threads": t}`` — only
+    ``base_job_id`` and ``delta`` are required.  Replies ``202`` like
+    ``/submit`` (plus the dirty-vertex count), ``404`` for an unknown
+    base job, ``409`` when the base is not done yet, ``400`` for a
+    malformed delta, ``429`` under backpressure.
+    """
+    if not isinstance(body, dict):
+        return 400, {"error": "mutate body must be a JSON object"}
+    unknown = sorted(set(body) - {"base_job_id", "delta", "staleness_budget",
+                                  "mode", "threads"})
+    if unknown:
+        return 400, {"error": f"unknown mutate field(s) {unknown}; expected "
+                              "base_job_id/delta/staleness_budget/mode/threads"}
+    try:
+        base_job_id = int(body["base_job_id"])
+    except (KeyError, TypeError, ValueError):
+        return 400, {"error": "mutate needs an integer 'base_job_id'"}
+    if "delta" not in body:
+        return 400, {"error": "mutate needs a 'delta' object "
+                              "(add_edges/remove_edges/add_vertices)"}
+    budget = body.get("staleness_budget", 0.05)
+    if budget is not None:
+        try:
+            budget = float(budget)
+        except (TypeError, ValueError):
+            return 400, {"error": "staleness_budget must be a number or null"}
+    try:
+        threads = int(body.get("threads", 1))
+    except (TypeError, ValueError):
+        return 400, {"error": "threads must be an int"}
+    try:
+        batch = MutationBatch.from_dict(body["delta"])
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    try:
+        job = service.mutate(base_job_id, batch, staleness_budget=budget,
+                             mode=str(body.get("mode", "sequential")),
+                             threads=threads)
+    except MutationError as exc:
+        return exc.status, {"error": exc.reason}
+    except AdmissionError as exc:
+        status = 429 if exc.reason.startswith("queue full") else 400
+        return status, {"error": exc.reason}
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    return 202, {"job_id": job.id, "key": job.key, "status": job.status,
+                 "base_job_id": base_job_id,
+                 "dirty_vertices": job.meta["dirty_vertices"]}
 
 
 def _result(service: ColoringService, id_text: str, query: dict) -> tuple[int, dict]:
@@ -185,6 +242,20 @@ def submit_job(base_url: str, payload: dict, timeout: float = 10.0) -> dict:
     data = json.dumps(payload).encode("utf-8")
     req = urllib.request.Request(
         base_url.rstrip("/") + "/submit", data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode("utf-8"))
+
+
+def mutate_job(base_url: str, payload: dict, timeout: float = 10.0) -> dict:
+    """POST one mutate *payload* (see ``/mutate``); returns the JSON reply."""
+    data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        base_url.rstrip("/") + "/mutate", data=data,
         headers={"Content-Type": "application/json"}, method="POST",
     )
     try:

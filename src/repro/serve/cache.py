@@ -95,6 +95,17 @@ class ResultCache:
 
         Memory first (refreshing recency), then the spill directory; a
         disk hit is re-admitted to memory so repeated access stays fast.
+
+        Counter semantics: ``hits`` counts results served from memory,
+        ``misses`` counts every memory miss — including the ones rescued
+        from disk, of which ``disk_hits`` is the subset — so
+        ``gets == hits + misses`` always holds.
+
+        The disk read happens outside the lock (it is I/O), so two
+        threads can both miss in memory and both restore the same file;
+        the state is re-checked under the lock before admitting, and the
+        loser adopts the winner's entry instead of double-admitting —
+        exactly one restore per key ever reaches ``_admit``.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -105,15 +116,20 @@ class ResultCache:
                 return entry[0]
         restored = self._load_spilled(key)
         with self._lock:
-            if restored is not None:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # raced: another thread admitted while we were reading disk
+                self._entries.move_to_end(key)
                 self._hits += 1
-                self._disk_hits += 1
                 self._rec.count("serve.cache.hits")
+                return entry[0]
+            self._misses += 1
+            self._rec.count("serve.cache.misses")
+            if restored is not None:
+                self._disk_hits += 1
                 self._rec.count("serve.cache.disk_hits")
                 self._admit(key, restored)
                 return restored
-            self._misses += 1
-            self._rec.count("serve.cache.misses")
             return None
 
     def put(self, key: str, result: RunResult) -> None:
@@ -136,11 +152,31 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
-    def clear(self) -> None:
-        """Drop every in-memory entry (spilled files are kept)."""
+    def clear(self, *, purge_spill: bool = False) -> None:
+        """Drop every in-memory entry.
+
+        By default spilled files survive — persistence across cache
+        instances is a feature (a restarted service warm-starts from its
+        spill directory).  Pass ``purge_spill=True`` when clear must mean
+        *gone*: the spill files are deleted too, so no "cleared" result
+        can resurrect through a later ``get``/``__contains__``.
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            if purge_spill:
+                self._purge_spill_locked()
+
+    def _purge_spill_locked(self) -> None:
+        """Delete every spill artifact (``.npz`` plus stray ``.tmp``)."""
+        if self.spill_dir is None or not self.spill_dir.is_dir():
+            return
+        for path in list(self.spill_dir.glob("*.npz")) + list(
+                self.spill_dir.glob("*.npz.tmp")):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent external delete
+                pass
 
     def stats(self) -> dict:
         """Counter snapshot: hits/misses/evictions/spills plus occupancy."""

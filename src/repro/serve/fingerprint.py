@@ -28,7 +28,8 @@ import json
 from ..graph.csr import CSRGraph
 from ..run.config import RunConfig
 
-__all__ = ["config_fingerprint", "graph_fingerprint", "job_key"]
+__all__ = ["config_fingerprint", "graph_fingerprint", "job_key",
+           "mutation_job_key"]
 
 
 def graph_fingerprint(graph: CSRGraph) -> str:
@@ -61,6 +62,29 @@ def job_key(graph: CSRGraph, config: RunConfig) -> str:
     h = hashlib.sha256()
     h.update(b"repro.serve/job/v1:")
     h.update(graph_fingerprint(graph).encode("ascii"))
+    h.update(b":")
+    h.update(config_fingerprint(config).encode("ascii"))
+    return h.hexdigest()
+
+
+def mutation_job_key(base_key: str, delta_digest: str, config: RunConfig) -> str:
+    """Cache key for an incremental re-color of a mutated graph.
+
+    The identity is ``(base job, delta, config)`` rather than the mutated
+    graph's own fingerprint: the base job's key already pins both the base
+    graph *and* the base coloring the incremental strategy carries
+    forward, and the delta digest (:meth:`repro.graph.delta.MutationBatch
+    .digest`) pins the churn region.  Two mutations of the same base
+    therefore share cache entries exactly when their deltas match —
+    invalidation is per-region, not per-graph — while the same delta on a
+    *different* base (different graph or different base coloring) keys
+    separately, as it must.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro.serve/mutate/v1:")
+    h.update(base_key.encode("ascii"))
+    h.update(b":")
+    h.update(delta_digest.encode("ascii"))
     h.update(b":")
     h.update(config_fingerprint(config).encode("ascii"))
     return h.hexdigest()

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..coloring.strategies import STRATEGIES
+from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
 from ..run.config import RunConfig, RunResult
 from .fingerprint import job_key
@@ -62,6 +63,9 @@ class Job:
     source: str | None = None
     result: RunResult | None = None
     error: str | None = None
+    #: Precomputed initial coloring handed to ``execute`` (mutation jobs
+    #: carry the base coloring here; ``None`` = strategy default).
+    initial: Coloring | None = None
     meta: dict = field(default_factory=dict)
 
     @property
@@ -113,20 +117,32 @@ class SubmissionQueue:
         self._rejected_invalid = 0
 
     # ------------------------------------------------------------------
-    def submit(self, graph: CSRGraph, config: RunConfig) -> Job:
+    def submit(self, graph: CSRGraph, config: RunConfig, *,
+               key: str | None = None, initial: Coloring | None = None) -> Job:
         """Admit one job or raise :class:`AdmissionError` with a reason.
 
         Validation happens before the key is computed so malformed
         requests are cheap to refuse; the backlog check is last, so an
         invalid request never occupies a queue slot.
+
+        *key* overrides the default content key — mutation jobs are keyed
+        on (base job, delta, config) rather than the mutated graph's own
+        fingerprint (see :func:`repro.serve.fingerprint.mutation_job_key`)
+        — and *initial* is a precomputed coloring forwarded to
+        ``execute`` (the carried-forward base for mutation jobs).
         """
         reason = self._validate(graph, config)
+        if reason is None and initial is not None:
+            if not isinstance(initial, Coloring):
+                reason = (f"initial must be a Coloring, "
+                          f"got {type(initial).__name__}")
         if reason is not None:
             with self._lock:
                 self._rejected += 1
                 self._rejected_invalid += 1
             raise AdmissionError(reason)
-        key = job_key(graph, config)
+        if key is None:
+            key = job_key(graph, config)
         with self._lock:
             if self._in_flight >= self.max_pending:
                 self._rejected += 1
@@ -135,7 +151,8 @@ class SubmissionQueue:
                     f"queue full: {self._in_flight} jobs in flight "
                     f"(limit {self.max_pending}); retry later"
                 )
-            job = Job(id=next(self._ids), key=key, graph=graph, config=config)
+            job = Job(id=next(self._ids), key=key, graph=graph, config=config,
+                      initial=initial)
             self._pending.append(job)
             self._jobs[job.id] = job
             self._in_flight += 1

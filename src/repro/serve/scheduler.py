@@ -157,7 +157,7 @@ class BatchScheduler:
     def _run_one(job: Job) -> tuple:
         job.status = "running"
         try:
-            return execute(job.graph, job.config), None
+            return execute(job.graph, job.config, initial=job.initial), None
         except Exception as exc:  # noqa: BLE001 - a bad job must not kill the service
             return None, f"{type(exc).__name__}: {exc}"
 

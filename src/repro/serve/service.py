@@ -24,13 +24,29 @@ import threading
 import time
 
 from ..graph.csr import CSRGraph
+from ..graph.delta import MutationBatch, apply_delta
 from ..obs import as_recorder
 from ..run.config import RunConfig
+from ..run.mutate import mutation_config
 from .cache import DEFAULT_MAX_BYTES, ResultCache
+from .fingerprint import mutation_job_key
 from .queue import DEFAULT_MAX_PENDING, Job, SubmissionQueue
 from .scheduler import BatchScheduler
 
-__all__ = ["ColoringService"]
+__all__ = ["ColoringService", "MutationError"]
+
+
+class MutationError(RuntimeError):
+    """A ``/mutate`` request that cannot run; ``status`` picks the HTTP code.
+
+    ``status`` is 404 for an unknown base job, 409 for a base job that is
+    not (successfully) finished yet, and 400 for a malformed delta.
+    """
+
+    def __init__(self, reason: str, status: int):
+        super().__init__(reason)
+        self.reason = reason
+        self.status = status
 
 
 class ColoringService:
@@ -65,6 +81,55 @@ class ColoringService:
         """Admit one job (raises :class:`~repro.serve.queue.AdmissionError`
         with a reason on rejection) and wake the pump if one is running."""
         job = self.queue.submit(graph, config)
+        self._wake.set()
+        return job
+
+    def mutate(self, base_job_id: int, batch: MutationBatch, *,
+               staleness_budget: float | None = 0.05,
+               mode: str = "sequential", threads: int = 1) -> Job:
+        """Admit an incremental re-color of a finished job's mutated graph.
+
+        The base job must be ``done``: its graph is the mutation target
+        and its result coloring is carried forward as the incremental
+        strategy's starting point.  The new job's key is
+        ``(base key, delta digest, config)`` — see
+        :func:`~repro.serve.fingerprint.mutation_job_key` — so repeating
+        the same mutation of the same base is a cache hit, while a
+        different delta (a different dirty region) keys separately:
+        cached results invalidate per-region, never per-graph.
+
+        Mutation jobs are ordinary jobs downstream (scheduler, cache,
+        ``/result``), and chain naturally: the returned job's id can be
+        the next call's ``base_job_id``.
+        """
+        base = self.queue.job(base_job_id)
+        if base is None:
+            raise MutationError(f"unknown base job {base_job_id}", status=404)
+        if not base.finished or base.result is None:
+            raise MutationError(
+                f"base job {base_job_id} is {base.status!r}; mutation needs a "
+                "finished job with a result", status=409)
+        if not isinstance(batch, MutationBatch):
+            raise MutationError(
+                f"delta must be a MutationBatch, got {type(batch).__name__}",
+                status=400)
+        try:
+            mutated, dirty = apply_delta(base.graph, batch)
+        except ValueError as exc:
+            raise MutationError(f"invalid delta: {exc}", status=400) from None
+        config = mutation_config(dirty, staleness_budget=staleness_budget,
+                                 mode=mode, threads=threads,
+                                 on_failure=base.config.on_failure)
+        key = mutation_job_key(base.key, batch.digest(), config)
+        job = self.queue.submit(mutated, config, key=key,
+                                initial=base.result.coloring)
+        job.meta["base_job_id"] = base_job_id
+        job.meta["delta_digest"] = batch.digest()
+        job.meta["dirty_vertices"] = int(dirty.size)
+        if self.recorder.enabled:
+            self.recorder.event("serve_mutate", base_job=base_job_id,
+                                job=job.id, dirty=int(dirty.size),
+                                changes=batch.num_changes)
         self._wake.set()
         return job
 
@@ -134,6 +199,16 @@ class ColoringService:
                 time.sleep(0.001)
         return job
 
+    def mutate_and_wait(self, base_job_id: int, batch: MutationBatch,
+                        **kwargs) -> Job:
+        """Convenience one-shot mutation: admit, drain, return terminal job."""
+        job = self.mutate(base_job_id, batch, **kwargs)
+        while not job.finished:
+            if self.process() == 0 and not job.finished:
+                self._wake.set()
+                time.sleep(0.001)
+        return job
+
     # ------------------------------------------------------------------
     # background pump (the HTTP server's scheduling thread)
     # ------------------------------------------------------------------
@@ -146,13 +221,21 @@ class ColoringService:
                                       name="repro-serve-pump", daemon=True)
         self._pump.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Signal the pump to exit after the current round and join it."""
+    def stop(self, timeout: float = 5.0, *, purge_spill: bool = False) -> None:
+        """Signal the pump to exit after the current round and join it.
+
+        ``purge_spill=True`` additionally clears the cache *including*
+        its on-disk spill files — shutdown-means-gone for ephemeral
+        services (tests, one-shot CLI serves) whose spill directory must
+        not resurrect results into a later run.
+        """
         self._stopping.set()
         self._wake.set()
         if self._pump is not None:
             self._pump.join(timeout)
             self._pump = None
+        if purge_spill:
+            self.cache.clear(purge_spill=True)
 
     def _pump_loop(self) -> None:
         while not self._stopping.is_set():

@@ -194,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DIR",
                        help="spill evicted colorings as .npz under DIR and "
                        "restore them on later hits")
+    serve.add_argument("--store", type=Path, default=None, dest="job_store",
+                       metavar="DIR",
+                       help="durable job store directory (sqlite): job ids "
+                       "and results survive restarts, interrupted jobs are "
+                       "re-run on startup (default: in-memory, ephemeral)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="cut big graphs into N shards and color them "
+                       "across the warm worker pool, repairing cross-shard "
+                       "conflicts (default 0 = inline execution)")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       dest="tenant_quota", metavar="N",
+                       help="max unfinished jobs per tenant; submits over "
+                       "the quota are rejected with 429 (default: unlimited)")
     serve.add_argument("--url", default="http://127.0.0.1:8734",
                        help="service base URL for 'submit' "
                        "(default http://127.0.0.1:8734)")
@@ -203,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=60.0,
                        help="'submit': seconds to wait for the result "
                        "(default 60)")
+    serve.add_argument("--tenant", default=None,
+                       help="'submit': tenant label for quota accounting")
+    serve.add_argument("--priority", default="normal",
+                       choices=["high", "normal"],
+                       help="'submit': scheduling class — high drains before "
+                       "normal (default normal)")
     return parser
 
 
@@ -326,12 +345,21 @@ def _serve_command(args) -> int:
             else DEFAULT_MAX_PENDING,
             max_bytes=max_bytes, spill_dir=args.spill_dir,
             workers=args.workers,
+            store=args.job_store,
+            backend=args.shards or None,
+            tenant_quota=args.tenant_quota,
         )
         server = make_server(service, host=args.host, port=args.port)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
+    recovered = service.recovered
+    if recovered["requeued"] or recovered["failed"] or recovered["terminal"]:
+        print(f"repro serve: recovered store {args.job_store} — "
+              f"{recovered['terminal']} terminal kept, "
+              f"{recovered['requeued']} interrupted re-queued, "
+              f"{recovered['failed']} unrecoverable failed", flush=True)
     if args.prewarm:
         service.prewarm(args.prewarm)
         print(f"repro serve: warm pool up with {args.prewarm} workers",
@@ -339,7 +367,10 @@ def _serve_command(args) -> int:
     service.start()
     print(f"repro serve: listening on http://{host}:{port} "
           f"(workers={args.workers}, cache={max_bytes // (1024 * 1024)}MiB, "
-          f"spill={args.spill_dir or 'off'})", flush=True)
+          f"spill={args.spill_dir or 'off'}, "
+          f"store={args.job_store or 'memory'}, "
+          f"backend={'sharded:%d' % args.shards if args.shards else 'inline'})",
+          flush=True)
     print("endpoints: POST /submit  POST /mutate  GET /result/<id>  "
           "GET /stats  GET /healthz", flush=True)
     try:
@@ -366,6 +397,10 @@ def _submit_command(args, parser: argparse.ArgumentParser) -> int:
         "fault_plan": args.fault_plan,
     }
     payload = {"scale": args.scale, "seed": args.seed, "config": config}
+    if args.tenant is not None:
+        payload["tenant"] = args.tenant
+    if args.priority != "normal":
+        payload["priority"] = args.priority
     if args.graph_file is not None:
         payload["graph_file"] = str(args.graph_file)
     else:

@@ -73,7 +73,8 @@ from ..graph.csr import CSRGraph
 from ..obs import as_recorder
 from ..resilience import FaultPlan, InjectedFault, resolve_fault_plan
 
-__all__ = ["mp_greedy_ff", "resolve_transport"]
+__all__ = ["detect_cross_conflicts", "mp_greedy_ff", "partition_positions",
+           "resolve_transport", "split_blocks"]
 
 #: Per-block-attempt collection timeout (seconds) when none is given.  A
 #: hung or killed worker surfaces as a timeout after at most this long,
@@ -195,7 +196,7 @@ def _valid_proposals(res, block: np.ndarray, num_vertices: int) -> bool:
     return bool(res.size == 0 or (res.min() >= 0 and res.max() < num_vertices))
 
 
-def _detect_conflicts_guarded(
+def detect_cross_conflicts(
     graph: CSRGraph, colors: np.ndarray, work_list: np.ndarray
 ) -> np.ndarray:
     """Conflict detection that survives stale-snapshot proposals.
@@ -393,7 +394,7 @@ def mp_greedy_ff(
     ``shm.pool.cold_start`` counters; attaching one never changes the
     result.
     """
-    from .partition import bfs_partition, block_partition, random_partition
+    from .partition import PARTITIONS, partition_by_name
 
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -405,14 +406,9 @@ def mp_greedy_ff(
         raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-    partitioners = {
-        "block": lambda: block_partition(graph, num_workers),
-        "random": lambda: random_partition(graph, num_workers, seed=seed),
-        "bfs": lambda: bfs_partition(graph, num_workers, seed=seed),
-    }
-    if partition not in partitioners:
+    if partition not in PARTITIONS:
         raise ValueError(
-            f"partition must be one of {sorted(partitioners)}, got {partition!r}")
+            f"partition must be one of {sorted(PARTITIONS)}, got {partition!r}")
     rec = as_recorder(recorder)
     plan = resolve_fault_plan(fault_plan)
     resolved = kernels.resolve_backend(backend)
@@ -442,11 +438,8 @@ def mp_greedy_ff(
 
     # the partition fixes a global order; each round splits the remaining
     # work list along it, preserving the partitioner's locality
-    position = np.empty(n, dtype=np.int64)
-    offset = 0
-    for part in partitioners[partition]():
-        position[part] = np.arange(offset, offset + part.shape[0])
-        offset += part.shape[0]
+    position = partition_positions(
+        partition_by_name(graph, num_workers, partition, seed=seed), n)
 
     if transport == "shm":
         runner = _run_rounds_shm
@@ -483,7 +476,22 @@ def mp_greedy_ff(
     )
 
 
-def _split_blocks(ordered: np.ndarray, num_workers: int) -> list[np.ndarray]:
+def partition_positions(parts: list[np.ndarray], num_vertices: int) -> np.ndarray:
+    """Each vertex's rank in the concatenated partition order.
+
+    The order every round's work list is sorted by before re-splitting —
+    shared by both mp transports and the serve layer's sharded backend,
+    so their round protocols stay bit-identical.
+    """
+    position = np.empty(num_vertices, dtype=np.int64)
+    offset = 0
+    for part in parts:
+        position[part] = np.arange(offset, offset + part.shape[0])
+        offset += part.shape[0]
+    return position
+
+
+def split_blocks(ordered: np.ndarray, num_workers: int) -> list[np.ndarray]:
     """The round's non-empty worker blocks, in partition order."""
     return [b for b in np.array_split(ordered, num_workers) if b.shape[0]]
 
@@ -513,7 +521,7 @@ def _run_rounds_pickle(
             round_idx = rounds
             rounds += 1
             ordered = work_list[np.argsort(position[work_list])]
-            blocks = _split_blocks(ordered, num_workers)
+            blocks = split_blocks(ordered, num_workers)
             snapshot = colors.copy()
             round_bytes = 0
 
@@ -571,7 +579,7 @@ def _run_rounds_shm(
             round_idx = rounds
             rounds += 1
             ordered = work_list[np.argsort(position[work_list])]
-            blocks = _split_blocks(ordered, num_workers)
+            blocks = split_blocks(ordered, num_workers)
             cur = round_idx % 2
             shared_colors.snapshots[cur][:] = colors
             k = ordered.shape[0]
@@ -630,5 +638,5 @@ def _merge_round(graph, colors, blocks, results, work_list, resolved, plan,
         if rec.enabled:
             rec.event("mp_salvage", round=round_idx, vertices=int(b.shape[0]))
         colors[b] = kernels.ff_sweep(graph, b, colors, backend=resolved)[b]
-    new_work = _detect_conflicts_guarded(graph, colors, work_list)
+    new_work = detect_cross_conflicts(graph, colors, work_list)
     return new_work, int(new_work.shape[0])

@@ -21,7 +21,8 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..util import as_rng
 
-__all__ = ["block_partition", "random_partition", "bfs_partition", "cut_edges"]
+__all__ = ["PARTITIONS", "block_partition", "random_partition",
+           "bfs_partition", "cut_edges", "partition_by_name"]
 
 
 def _split(order: np.ndarray, num_parts: int) -> list[np.ndarray]:
@@ -73,6 +74,29 @@ def bfs_partition(graph: CSRGraph, num_parts: int, *, seed=None) -> list[np.ndar
                     visited[w] = True
                     queue.append(w)
     return _split(order, num_parts)
+
+
+#: Registered partitioner names, in documentation order.
+PARTITIONS = ("block", "random", "bfs")
+
+
+def partition_by_name(graph: CSRGraph, num_parts: int, name: str = "block",
+                      *, seed=None) -> list[np.ndarray]:
+    """Resolve a partitioner by *name* and run it.
+
+    The shared front door of :func:`repro.parallel.mp.mp_greedy_ff` and
+    the serve layer's sharded execution backend — one spelling of the
+    name set, one error message, identical splits everywhere.  ``seed``
+    is ignored by the deterministic ``"block"`` strategy.
+    """
+    if name == "block":
+        return block_partition(graph, num_parts)
+    if name == "random":
+        return random_partition(graph, num_parts, seed=seed)
+    if name == "bfs":
+        return bfs_partition(graph, num_parts, seed=seed)
+    raise ValueError(
+        f"partition must be one of {sorted(PARTITIONS)}, got {name!r}")
 
 
 def cut_edges(graph: CSRGraph, parts: list[np.ndarray]) -> int:

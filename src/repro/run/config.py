@@ -128,6 +128,19 @@ class RunConfig:
             self, "strategy_kwargs", MappingProxyType(dict(self.strategy_kwargs))
         )
 
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with *changes* applied, fully re-validated.
+
+        The frozen-dataclass idiom (``dataclasses.replace``) wrapped so
+        derived configs — the sharded backend rewriting ``mode`` /
+        ``threads``, experiment sweeps varying one knob — go back
+        through ``__post_init__`` and fail eagerly on illegal
+        combinations instead of deep inside a run.
+        """
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)
+
     # ------------------------------------------------------------------
     # serialization (cache keys, submit API, archival)
     # ------------------------------------------------------------------

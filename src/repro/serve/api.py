@@ -74,10 +74,14 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
     if not isinstance(body, dict):
         return 400, {"error": "submit body must be a JSON object"}
     unknown = sorted(set(body) - {"input", "scale", "seed", "config",
-                                  "graph_file"})
+                                  "graph_file", "tenant", "priority"})
     if unknown:
         return 400, {"error": f"unknown submit field(s) {unknown}; expected "
-                              "input/scale/seed/config/graph_file"}
+                              "input/scale/seed/config/graph_file/tenant/"
+                              "priority"}
+    tenant = body.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        return 400, {"error": "tenant must be a string or null"}
     graph_file = body.get("graph_file")
     if graph_file is not None and "input" in body:
         return 400, {"error": "give either 'input' or 'graph_file', not both"}
@@ -102,11 +106,18 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
     except ValueError as exc:
         return 400, {"error": str(exc)}
     try:
-        job = service.submit(graph, config)
+        job = service.submit(graph, config, tenant=tenant,
+                             priority=str(body.get("priority", "normal")))
     except AdmissionError as exc:
-        status = 429 if exc.reason.startswith("queue full") else 400
+        status = 429 if _is_backpressure(exc) else 400
         return status, {"error": exc.reason}
     return 202, {"job_id": job.id, "key": job.key, "status": job.status}
+
+
+def _is_backpressure(exc: AdmissionError) -> bool:
+    """429 (retryable: queue/quota pressure) vs 400 (caller error)."""
+    return (exc.reason.startswith("queue full")
+            or "quota exhausted" in exc.reason)
 
 
 def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
@@ -122,10 +133,14 @@ def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
     if not isinstance(body, dict):
         return 400, {"error": "mutate body must be a JSON object"}
     unknown = sorted(set(body) - {"base_job_id", "delta", "staleness_budget",
-                                  "mode", "threads"})
+                                  "mode", "threads", "tenant", "priority"})
     if unknown:
         return 400, {"error": f"unknown mutate field(s) {unknown}; expected "
-                              "base_job_id/delta/staleness_budget/mode/threads"}
+                              "base_job_id/delta/staleness_budget/mode/"
+                              "threads/tenant/priority"}
+    tenant = body.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        return 400, {"error": "tenant must be a string or null"}
     try:
         base_job_id = int(body["base_job_id"])
     except (KeyError, TypeError, ValueError):
@@ -150,11 +165,12 @@ def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
     try:
         job = service.mutate(base_job_id, batch, staleness_budget=budget,
                              mode=str(body.get("mode", "sequential")),
-                             threads=threads)
+                             threads=threads, tenant=tenant,
+                             priority=str(body.get("priority", "normal")))
     except MutationError as exc:
         return exc.status, {"error": exc.reason}
     except AdmissionError as exc:
-        status = 429 if exc.reason.startswith("queue full") else 400
+        status = 429 if _is_backpressure(exc) else 400
         return status, {"error": exc.reason}
     except ValueError as exc:
         return 400, {"error": str(exc)}

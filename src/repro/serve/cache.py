@@ -66,17 +66,28 @@ class ResultCache:
     spill_dir:
         When set, evicted colorings are written as ``<key>.npz`` under
         this directory (created on demand) and restored on later misses.
+    write_through:
+        When true (requires *spill_dir*), every :meth:`put` spills to
+        disk immediately instead of waiting for eviction.  This is what
+        makes a durable service's results crash-safe: once a result is
+        published, a restarted service finds it on disk and never
+        re-executes the job — the store row only ever points at a spill
+        file that exists.
     recorder:
         Observability sink for the ``serve.cache.*`` counters; resolves
         like every other ``recorder=`` argument in the codebase.
     """
 
     def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES,
-                 spill_dir: str | Path | None = None, recorder=None):
+                 spill_dir: str | Path | None = None,
+                 write_through: bool = False, recorder=None):
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if write_through and spill_dir is None:
+            raise ValueError("write_through=True needs a spill_dir")
         self.max_bytes = int(max_bytes)
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.write_through = bool(write_through)
         self._rec = as_recorder(recorder)
         self._lock = threading.RLock()
         self._entries: OrderedDict[str, tuple[RunResult, int]] = OrderedDict()
@@ -140,6 +151,10 @@ class ResultCache:
             )
         with self._lock:
             self._admit(key, result)
+            if self.write_through:
+                path = self._spill_path(key)
+                if path is not None and not path.exists():
+                    self._spill(key, result)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -190,6 +205,7 @@ class ResultCache:
                 "entries": len(self._entries),
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
+                "write_through": self.write_through,
             }
 
     # ------------------------------------------------------------------

@@ -4,10 +4,28 @@ A :class:`Job` is one client request — a (graph, config) pair plus its
 content-addressed key and lifecycle state.  The :class:`SubmissionQueue`
 is the only way jobs enter the system, and it enforces *admission
 control*: structurally invalid requests (unknown strategy, unsupported
-(strategy, mode) pair) and overload (more pending jobs than the bound)
-are rejected **at submit time** with a human-readable reason carried by
-:class:`AdmissionError` — backpressure is an explicit, countable signal,
-never a silent drop or an unbounded backlog.
+(strategy, mode) pair), overload (more pending jobs than the bound), and
+per-tenant quota exhaustion are rejected **at submit time** with a
+human-readable reason carried by :class:`AdmissionError` — backpressure
+is an explicit, countable signal, never a silent drop or an unbounded
+backlog.
+
+Lifecycle state lives in two places on purpose: the in-memory
+:class:`Job` object is the hot copy the scheduler and the ``/result``
+endpoint touch, and every id allocation and status transition is written
+through the :class:`~repro.serve.store.JobStore` — in-memory by default
+(bit-for-bit the old behavior), sqlite-backed when the service is
+durable.  Ids always come from the store's monotonic sequence, so a
+restarted durable service never reissues an id that an earlier life
+handed to a client (spilled results and chained ``/mutate`` base ids
+stay unambiguous forever).
+
+Jobs carry an optional ``tenant`` and a ``priority`` class (``"high"``
+drains strictly before ``"normal"``; FIFO within a class).  Completion
+is observable two ways: poll ``job.finished``, or block on
+:meth:`Job.wait` — the completion event is set inside
+:meth:`SubmissionQueue.mark_terminal`, so no caller ever needs a
+sleep-poll loop.
 
 The queue is thread-safe: the HTTP front end submits from handler
 threads while the scheduler drains from its own.
@@ -15,25 +33,30 @@ threads while the scheduler drains from its own.
 
 from __future__ import annotations
 
-import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..coloring.strategies import STRATEGIES
 from ..coloring.types import Coloring
 from ..graph.csr import CSRGraph
+from ..obs import as_recorder
 from ..run.config import RunConfig, RunResult
 from .fingerprint import job_key
+from .store import JOB_STATES, JobStore, MemoryStore
 
 __all__ = ["AdmissionError", "DEFAULT_MAX_PENDING", "JOB_STATES", "Job",
-           "SubmissionQueue"]
-
-#: Lifecycle states a job moves through (strictly forward).
-JOB_STATES = ("queued", "running", "done", "failed")
+           "PRIORITIES", "SubmissionQueue"]
 
 #: Default bound on jobs admitted but not yet resolved.
 DEFAULT_MAX_PENDING = 1024
+
+#: Priority classes, highest first; the scheduler drains in this order.
+PRIORITIES = ("high", "normal")
+
+#: Completed-job latencies remembered for the percentile stats.
+_LATENCY_WINDOW = 2048
 
 
 class AdmissionError(RuntimeError):
@@ -50,27 +73,38 @@ class Job:
 
     ``source`` records how the job was ultimately served: ``"computed"``
     (a real ``execute`` call), ``"dedup"`` (attached to an identical
-    in-flight job's computation), or ``"cache"`` (memory or disk hit).
-    Exactly one of ``result`` / ``error`` is set once ``status`` reaches
-    a terminal state (``done`` / ``failed``).
+    in-flight job's computation), ``"cache"`` (memory or disk hit), or
+    ``"store"`` (a terminal job restored from a persistent store after a
+    restart).  Exactly one of ``result`` / ``error`` is set once
+    ``status`` reaches a terminal state (``done`` / ``failed``).
     """
 
     id: int
     key: str
-    graph: CSRGraph
+    graph: CSRGraph | None
     config: RunConfig
-    status: str = "queued"
+    status: str = "pending"
     source: str | None = None
     result: RunResult | None = None
     error: str | None = None
     #: Precomputed initial coloring handed to ``execute`` (mutation jobs
     #: carry the base coloring here; ``None`` = strategy default).
     initial: Coloring | None = None
+    tenant: str | None = None
+    priority: str = "normal"
+    submitted_at: float = 0.0
+    finished_at: float | None = None
     meta: dict = field(default_factory=dict)
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False, compare=False)
 
     @property
     def finished(self) -> bool:
         return self.status in ("done", "failed")
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True when it finished in time."""
+        return self._done.wait(timeout)
 
     def describe(self) -> dict:
         """JSON-ready lifecycle summary (the ``/result`` endpoint's core)."""
@@ -81,18 +115,27 @@ class Job:
             "source": self.source,
             "strategy": self.config.strategy,
             "mode": self.config.mode,
+            "priority": self.priority,
         }
+        if self.tenant is not None:
+            info["tenant"] = self.tenant
         if self.error is not None:
             info["error"] = self.error
         if self.result is not None:
             info["num_colors"] = int(self.result.coloring.num_colors)
             info["num_vertices"] = int(self.result.coloring.num_vertices)
             info["rsd_percent"] = float(self.result.balance.rsd_percent)
+        elif self.status == "done":
+            # restored from a persistent store without the payload in
+            # memory: the summary persisted at finish time still serves
+            for name in ("num_colors", "num_vertices", "rsd_percent"):
+                if name in self.meta:
+                    info[name] = self.meta[name]
         return info
 
 
 class SubmissionQueue:
-    """Bounded FIFO of admitted jobs, with by-id lookup of every job ever.
+    """Bounded two-class priority queue, with by-id lookup of every job.
 
     Parameters
     ----------
@@ -100,46 +143,73 @@ class SubmissionQueue:
         Admission bound: jobs admitted but not yet terminal.  A full
         queue rejects with a reason naming both the backlog and the
         limit, so clients can distinguish overload from bad requests.
+    store:
+        The :class:`~repro.serve.store.JobStore` ids are allocated from
+        and transitions are written through (default: a fresh in-memory
+        store — the undurable behavior, made explicit).
+    tenant_quota:
+        Per-tenant cap on jobs in flight, enforced at admission; only
+        jobs that carry a ``tenant`` count.  ``None`` disables the quota.
+    recorder:
+        Observability sink for the ``serve.queue.*`` counters.
     """
 
-    def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING):
+    def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING,
+                 store: JobStore | None = None,
+                 tenant_quota: int | None = None, recorder=None):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1 or None, got {tenant_quota}")
         self.max_pending = int(max_pending)
+        self.store = store if store is not None else MemoryStore()
+        self.tenant_quota = tenant_quota
+        self._rec = as_recorder(recorder)
         self._lock = threading.RLock()
-        self._ids = itertools.count(1)
-        self._pending: deque[Job] = deque()
+        self._pending: dict[str, deque[Job]] = {p: deque() for p in PRIORITIES}
         self._jobs: dict[int, Job] = {}
+        self._tenant_active: dict[str, int] = {}
+        self._latency: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._in_flight = 0  # admitted, not yet terminal
         self._submitted = 0
         self._rejected = 0
         self._rejected_full = 0
         self._rejected_invalid = 0
+        self._rejected_quota = 0
 
     # ------------------------------------------------------------------
     def submit(self, graph: CSRGraph, config: RunConfig, *,
-               key: str | None = None, initial: Coloring | None = None) -> Job:
+               key: str | None = None, initial: Coloring | None = None,
+               tenant: str | None = None, priority: str = "normal",
+               meta: dict | None = None) -> Job:
         """Admit one job or raise :class:`AdmissionError` with a reason.
 
         Validation happens before the key is computed so malformed
-        requests are cheap to refuse; the backlog check is last, so an
-        invalid request never occupies a queue slot.
+        requests are cheap to refuse; the backlog and quota checks are
+        last, so an invalid request never occupies a queue slot.
 
         *key* overrides the default content key — mutation jobs are keyed
         on (base job, delta, config) rather than the mutated graph's own
         fingerprint (see :func:`repro.serve.fingerprint.mutation_job_key`)
         — and *initial* is a precomputed coloring forwarded to
-        ``execute`` (the carried-forward base for mutation jobs).
+        ``execute`` (the carried-forward base for mutation jobs).  *meta*
+        seeds the job's bookkeeping dict and is persisted with the store
+        row, so recovery sees it too.
         """
         reason = self._validate(graph, config)
         if reason is None and initial is not None:
             if not isinstance(initial, Coloring):
                 reason = (f"initial must be a Coloring, "
                           f"got {type(initial).__name__}")
+        if reason is None and priority not in PRIORITIES:
+            reason = (f"priority must be one of {list(PRIORITIES)}, "
+                      f"got {priority!r}")
         if reason is not None:
             with self._lock:
                 self._rejected += 1
                 self._rejected_invalid += 1
+            self._rec.count("serve.queue.rejected_invalid")
             raise AdmissionError(reason)
         if key is None:
             key = job_key(graph, config)
@@ -147,17 +217,63 @@ class SubmissionQueue:
             if self._in_flight >= self.max_pending:
                 self._rejected += 1
                 self._rejected_full += 1
+                self._rec.count("serve.queue.rejected_full")
                 raise AdmissionError(
                     f"queue full: {self._in_flight} jobs in flight "
                     f"(limit {self.max_pending}); retry later"
                 )
-            job = Job(id=next(self._ids), key=key, graph=graph, config=config,
-                      initial=initial)
-            self._pending.append(job)
-            self._jobs[job.id] = job
-            self._in_flight += 1
+            if (self.tenant_quota is not None and tenant is not None
+                    and self._tenant_active.get(tenant, 0) >= self.tenant_quota):
+                self._rejected += 1
+                self._rejected_quota += 1
+                self._rec.count("serve.queue.rejected_quota")
+                raise AdmissionError(
+                    f"tenant {tenant!r} quota exhausted: "
+                    f"{self._tenant_active[tenant]} jobs in flight "
+                    f"(limit {self.tenant_quota}); retry later"
+                )
+            now = time.time()
+            job_id = self.store.allocate(
+                key=key, config=config.to_dict(),
+                graph_ref=self.store.persist_graph(graph), tenant=tenant,
+                priority=priority, meta=meta, submitted_at=now)
+            job = Job(id=job_id, key=key, graph=graph, config=config,
+                      initial=initial, tenant=tenant, priority=priority,
+                      submitted_at=now, meta=dict(meta or {}))
+            self._enqueue_locked(job)
             self._submitted += 1
             return job
+
+    def _enqueue_locked(self, job: Job) -> None:
+        self._pending[job.priority].append(job)
+        self._jobs[job.id] = job
+        self._in_flight += 1
+        if job.tenant is not None:
+            self._tenant_active[job.tenant] = \
+                self._tenant_active.get(job.tenant, 0) + 1
+
+    def readmit(self, job: Job) -> None:
+        """Re-enter a recovered job (one that died mid-flight last life).
+
+        Bypasses the admission bound — recovery must never drop durable
+        jobs — and moves the store row back to ``pending``, which is also
+        legal from ``pending`` itself (a job that never got dispatched).
+        """
+        self.store.transition(job.id, "pending")
+        job.status = "pending"
+        with self._lock:
+            self._enqueue_locked(job)
+
+    def remember(self, job: Job) -> None:
+        """Index an already-terminal job restored from the store, so
+        later ``/result`` polls (and ``/mutate`` chains) find it without
+        re-reading the store."""
+        if not job.finished:
+            raise ValueError(f"remember() is for terminal jobs; "
+                             f"job {job.id} is {job.status!r}")
+        job._done.set()
+        with self._lock:
+            self._jobs.setdefault(job.id, job)
 
     @staticmethod
     def _validate(graph: CSRGraph, config: RunConfig) -> str | None:
@@ -181,25 +297,65 @@ class SubmissionQueue:
 
     # ------------------------------------------------------------------
     def take_batch(self, limit: int | None = None) -> list[Job]:
-        """Pop up to *limit* queued jobs (all of them when ``None``).
+        """Pop up to *limit* pending jobs (all of them when ``None``).
 
+        High-priority jobs drain strictly first, FIFO within each class.
         The scheduler calls this once per round; popped jobs stay
         in flight until :meth:`mark_terminal` is called for them.
         """
+        batch: list[Job] = []
         with self._lock:
-            count = len(self._pending) if limit is None else min(limit, len(self._pending))
-            batch = [self._pending.popleft() for _ in range(count)]
+            for priority in PRIORITIES:
+                pending = self._pending[priority]
+                while pending and (limit is None or len(batch) < limit):
+                    batch.append(pending.popleft())
         return batch
 
+    def mark_running(self, job: Job) -> None:
+        """Record the dispatch of a primary job (store transition included)."""
+        self.store.transition(job.id, "running")
+        job.status = "running"
+
     def mark_terminal(self, job: Job) -> None:
-        """Release the backlog slot of a job that reached done/failed."""
+        """Release the backlog slot of a job that reached done/failed.
+
+        Writes the terminal transition through the store (with the
+        result summary a restarted service can serve without the
+        payload), records end-to-end latency, and sets the job's
+        completion event — waiters wake here, never by polling.
+        """
         if not job.finished:
             raise ValueError(
                 f"job {job.id} is {job.status!r}, not terminal; "
                 "set status to 'done' or 'failed' first"
             )
+        job.finished_at = time.time()
+        finish_meta: dict = {}
+        if job.result is not None:
+            finish_meta = {
+                "num_colors": int(job.result.coloring.num_colors),
+                "num_vertices": int(job.result.coloring.num_vertices),
+                "rsd_percent": float(job.result.balance.rsd_percent),
+            }
+        self.store.transition(job.id, job.status, source=job.source,
+                              error=job.error, meta=finish_meta,
+                              finished_at=job.finished_at)
         with self._lock:
             self._in_flight -= 1
+            if job.tenant is not None:
+                left = self._tenant_active.get(job.tenant, 0) - 1
+                if left > 0:
+                    self._tenant_active[job.tenant] = left
+                else:
+                    self._tenant_active.pop(job.tenant, None)
+            if job.submitted_at:
+                self._latency.append(job.finished_at - job.submitted_at)
+        if self._rec.enabled:
+            self._rec.event("serve_job_done", job=job.id, status=job.status,
+                            source=job.source, priority=job.priority,
+                            latency_s=job.finished_at - job.submitted_at
+                            if job.submitted_at else None)
+        job._done.set()
 
     # ------------------------------------------------------------------
     def job(self, job_id: int) -> Job | None:
@@ -210,22 +366,40 @@ class SubmissionQueue:
     @property
     def pending_count(self) -> int:
         with self._lock:
-            return len(self._pending)
+            return sum(len(q) for q in self._pending.values())
 
     @property
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
 
+    @staticmethod
+    def _percentile(sorted_values: list[float], q: float) -> float:
+        """Nearest-rank percentile of an already-sorted sample."""
+        rank = max(0, min(len(sorted_values) - 1,
+                          round(q * (len(sorted_values) - 1))))
+        return sorted_values[rank]
+
     def stats(self) -> dict:
-        """Admission counters: submissions, backlog, rejections by cause."""
+        """Admission counters, per-priority depth, and latency percentiles."""
         with self._lock:
+            sample = sorted(self._latency)
+            latency = {"samples": len(sample)}
+            if sample:
+                latency["p50_ms"] = self._percentile(sample, 0.50) * 1e3
+                latency["p95_ms"] = self._percentile(sample, 0.95) * 1e3
             return {
                 "submitted": self._submitted,
-                "pending": len(self._pending),
+                "pending": sum(len(q) for q in self._pending.values()),
+                "pending_by_priority": {p: len(self._pending[p])
+                                        for p in PRIORITIES},
                 "in_flight": self._in_flight,
                 "max_pending": self.max_pending,
+                "tenant_quota": self.tenant_quota,
+                "tenants_active": len(self._tenant_active),
                 "rejections": self._rejected,
                 "rejections_full": self._rejected_full,
                 "rejections_invalid": self._rejected_invalid,
+                "rejections_quota": self._rejected_quota,
+                "latency": latency,
             }

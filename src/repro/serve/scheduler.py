@@ -14,14 +14,16 @@ resolves every job in it through a fixed funnel:
    ``mp``-mode groups always dispatch serially (each such job already
    owns a process pool — nesting it under worker threads oversubscribes);
 4. **dispatch** — each group runs through the worker pool, every job via
-   :func:`repro.run.execute` under its own config — including its
-   ``on_failure`` resilience policy, so a degraded-but-healed run is a
-   normal ``done`` job while an unhealable one fails with the error
+   the configured :class:`~repro.serve.backends.ExecutionBackend`
+   (inline ``execute`` by default, the sharded shard-and-repair path
+   when the service is built with one) under its own config — including
+   its ``on_failure`` resilience policy, so a degraded-but-healed run is
+   a normal ``done`` job while an unhealable one fails with the error
    recorded;
 5. **publish** — successes enter the cache; primaries and followers are
    marked terminal and their queue slots released.
 
-Determinism: ``execute`` is deterministic for a fixed seed, jobs are
+Determinism: every backend is deterministic for a fixed seed, jobs are
 independent, and batch order is preserved everywhere, so the same
 submissions yield bit-identical colorings whether a job was computed,
 deduplicated, or served from cache — the test-suite asserts this.
@@ -33,7 +35,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..obs import as_recorder
-from ..run import execute
+from .backends import ExecutionBackend, InlineBackend
 from .cache import ResultCache
 from .queue import Job, SubmissionQueue
 
@@ -53,19 +55,23 @@ class BatchScheduler:
         inline, sequentially — the fully deterministic default).
     batch_size:
         Max jobs drained per round (``None`` = everything queued).
+    backend:
+        The :class:`~repro.serve.backends.ExecutionBackend` primaries run
+        on (default: a fresh :class:`~repro.serve.backends.InlineBackend`).
     recorder:
         Observability sink for the ``serve.scheduler.*`` counters.
     """
 
     def __init__(self, queue: SubmissionQueue, cache: ResultCache, *,
                  workers: int = 1, batch_size: int | None = None,
-                 recorder=None):
+                 backend: ExecutionBackend | None = None, recorder=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.queue = queue
         self.cache = cache
+        self.backend = backend if backend is not None else InlineBackend()
         self.workers = int(workers)
         self.batch_size = batch_size
         self._rec = as_recorder(recorder)
@@ -153,11 +159,10 @@ class BatchScheduler:
         with ThreadPoolExecutor(max_workers=width) as pool:
             return list(pool.map(self._run_one, group))
 
-    @staticmethod
-    def _run_one(job: Job) -> tuple:
-        job.status = "running"
+    def _run_one(self, job: Job) -> tuple:
+        self.queue.mark_running(job)
         try:
-            return execute(job.graph, job.config, initial=job.initial), None
+            return self.backend.run(job), None
         except Exception as exc:  # noqa: BLE001 - a bad job must not kill the service
             return None, f"{type(exc).__name__}: {exc}"
 
@@ -196,4 +201,5 @@ class BatchScheduler:
                 "dedup_hits": self._dedup_hits,
                 "failures": self._failures,
                 "workers": self.workers,
+                **self.backend.stats(),
             }

@@ -1,4 +1,4 @@
-"""The coloring service façade: queue + scheduler + cache as one object.
+"""The coloring service façade: store + queue + scheduler + cache as one object.
 
 :class:`ColoringService` wires the serving pipeline together and is the
 single surface both fronts use — the in-process API the tests and the
@@ -10,28 +10,50 @@ in :mod:`repro.serve.api`:
     service.process()                      # drain synchronously
     result = service.result(job.id).result # a full RunResult
 
+Three layers meet here:
+
+- **durable state** — every job id and status transition goes through a
+  :class:`~repro.serve.store.JobStore`.  The default in-memory store
+  reproduces the old ephemeral behavior bit-for-bit; pass
+  ``store="path"`` (or a :class:`~repro.serve.store.SqliteStore`) and
+  the service becomes restartable: on construction it *recovers* —
+  jobs that died ``pending``/``running`` are re-admitted and re-run,
+  terminal jobs are served straight from the store + the cache's spill
+  files, and a job whose result already persisted is **never**
+  re-executed (the scheduler's cache check finds the write-through
+  spill first).
+- **execution backend** — ``backend=`` picks how primary jobs run:
+  ``None`` for the inline path, an int or a
+  :class:`~repro.serve.backends.ShardedBackend` to cut big graphs
+  across the warm worker pool.
+- **job lifecycle** — submit returns immediately with a durable id;
+  jobs carry ``tenant``/``priority``; completion is event-based
+  (:meth:`Job.wait`), never a sleep-poll.
+
 For a long-running server, :meth:`start` spins one background *pump*
 thread that drains the queue whenever jobs are waiting; :meth:`stop`
 joins it.  Everything stays deterministic either way: processing order
-follows admission order, and every job's coloring is bit-identical to a
-direct :func:`repro.run.execute` at the same seed — whether computed,
-deduplicated against an identical in-flight job, or served from cache.
+follows admission order within a priority class, and every job's
+coloring is bit-identical to a direct :func:`repro.run.execute` at the
+same seed — whether computed, deduplicated against an identical
+in-flight job, or served from cache.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 
 from ..graph.csr import CSRGraph
 from ..graph.delta import MutationBatch, apply_delta
 from ..obs import as_recorder
 from ..run.config import RunConfig
 from ..run.mutate import mutation_config
+from .backends import resolve_backend
 from .cache import DEFAULT_MAX_BYTES, ResultCache
 from .fingerprint import mutation_job_key
 from .queue import DEFAULT_MAX_PENDING, Job, SubmissionQueue
 from .scheduler import BatchScheduler
+from .store import JobStore, SqliteStore, StoreError, open_store
 
 __all__ = ["ColoringService", "MutationError"]
 
@@ -52,41 +74,146 @@ class MutationError(RuntimeError):
 class ColoringService:
     """Submission, scheduling, caching, and introspection in one place.
 
-    Parameters mirror the components': *max_pending* bounds admission
-    (see :class:`SubmissionQueue`), *max_bytes* / *spill_dir* shape the
-    :class:`ResultCache`, *workers* / *batch_size* the
-    :class:`BatchScheduler`.  *recorder* is shared by every component, so
-    one observability sink sees the whole ``serve.*`` counter family.
+    Parameters mirror the components': *max_pending* / *tenant_quota*
+    bound admission (see :class:`SubmissionQueue`), *max_bytes* /
+    *spill_dir* shape the :class:`ResultCache`, *workers* / *batch_size*
+    the :class:`BatchScheduler`.  *store* selects the durability layer
+    (``None`` = in-memory, a path opens a sqlite store there — whose
+    ``spill/`` directory becomes the default *spill_dir*, with
+    write-through spilling so results persist at publish time).
+    *backend* selects the execution backend (``None`` = inline, an int
+    ``n`` = ``ShardedBackend(n)``).  *recover* (default on) re-admits a
+    persistent store's interrupted jobs at construction.  *recorder* is
+    shared by every component, so one observability sink sees the whole
+    ``serve.*`` counter family.
     """
 
     def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING,
                  max_bytes: int = DEFAULT_MAX_BYTES,
                  spill_dir=None, workers: int = 1,
-                 batch_size: int | None = None, recorder=None):
+                 batch_size: int | None = None, recorder=None,
+                 store=None, backend=None, tenant_quota: int | None = None,
+                 recover: bool = True):
         self.recorder = as_recorder(recorder)
-        self.queue = SubmissionQueue(max_pending=max_pending)
-        self.cache = ResultCache(max_bytes=max_bytes, spill_dir=spill_dir,
-                                 recorder=self.recorder)
+        self._owns_store = not isinstance(store, JobStore)
+        self.store = open_store(store)
+        if spill_dir is None and isinstance(self.store, SqliteStore):
+            spill_dir = self.store.spill_dir
+        self.cache = ResultCache(
+            max_bytes=max_bytes, spill_dir=spill_dir,
+            write_through=self.store.persistent and spill_dir is not None,
+            recorder=self.recorder)
+        self.queue = SubmissionQueue(max_pending=max_pending,
+                                     store=self.store,
+                                     tenant_quota=tenant_quota,
+                                     recorder=self.recorder)
+        self.backend = resolve_backend(backend, recorder=self.recorder)
         self.scheduler = BatchScheduler(self.queue, self.cache,
                                         workers=workers, batch_size=batch_size,
+                                        backend=self.backend,
                                         recorder=self.recorder)
         self._pump: threading.Thread | None = None
         self._wake = threading.Event()
         self._stopping = threading.Event()
+        self.recovered = {"requeued": 0, "failed": 0, "terminal": 0}
+        if recover and self.store.persistent:
+            self.recovered = self._recover()
+
+    # ------------------------------------------------------------------
+    # restart recovery (persistent stores only)
+    # ------------------------------------------------------------------
+    def _recover(self) -> dict:
+        """Reconcile the reopened store with a fresh in-memory pipeline.
+
+        Terminal rows stay where they are (``result()`` restores them
+        lazily).  ``pending``/``running`` rows are jobs a previous life
+        admitted but never resolved: each is rebuilt from its persisted
+        graph and re-admitted — and if its result actually made it to
+        the write-through spill before the crash, the scheduler's cache
+        check serves it without re-executing.  A row whose inputs cannot
+        be rebuilt (graph never persisted, base coloring gone) is failed
+        with the reason recorded rather than silently dropped.
+        """
+        summary = {"requeued": 0, "failed": 0, "terminal": 0}
+        counts = self.store.counts()
+        summary["terminal"] = counts["done"] + counts["failed"]
+        for row in self.store.by_status("pending", "running"):
+            job, reason = self._restore_pending(row)
+            if job is None:
+                self.store.transition(row["id"], "failed", source="recovery",
+                                      error=f"unrecoverable after restart: "
+                                            f"{reason}")
+                summary["failed"] += 1
+            else:
+                self.queue.readmit(job)
+                summary["requeued"] += 1
+        if self.recorder.enabled:
+            self.recorder.event("serve_recover", **summary)
+        return summary
+
+    def _restore_pending(self, row: dict):
+        """Rebuild a re-runnable Job from a store row; (job, None) or
+        (None, reason)."""
+        try:
+            config = RunConfig.from_dict(row["config"])
+        except ValueError as exc:
+            return None, f"config does not parse: {exc}"
+        if not row["graph_ref"]:
+            return None, "graph was not persisted"
+        try:
+            graph = self.store.load_graph(row["graph_ref"])
+        except StoreError as exc:
+            return None, str(exc)
+        initial = None
+        base_key = row["meta"].get("initial_from_key")
+        if base_key:
+            base_result = self.cache.get(base_key)
+            if base_result is None:
+                return None, (f"initial coloring (key {base_key[:12]}…) "
+                              "is no longer in the cache or spill")
+            initial = base_result.coloring
+        return Job(id=row["id"], key=row["key"], graph=graph, config=config,
+                   initial=initial, tenant=row["tenant"],
+                   priority=row["priority"] or "normal",
+                   submitted_at=row["submitted_at"] or 0.0,
+                   meta=dict(row["meta"])), None
+
+    def _restore_terminal(self, row: dict) -> Job:
+        """Rebuild a terminal Job for ``/result`` from its store row.
+
+        The result payload comes from the cache (memory or write-through
+        spill); when the spill is gone the job still describes itself
+        from the summary persisted at finish time.  ``source`` becomes
+        ``"store"`` — the original source survives in the meta.
+        """
+        result = self.cache.get(row["key"]) if row["status"] == "done" else None
+        meta = dict(row["meta"])
+        if row["source"]:
+            meta["original_source"] = row["source"]
+        return Job(id=row["id"], key=row["key"], graph=None,
+                   config=RunConfig.from_dict(row["config"]),
+                   status=row["status"], source="store", result=result,
+                   error=row["error"], tenant=row["tenant"],
+                   priority=row["priority"] or "normal",
+                   submitted_at=row["submitted_at"] or 0.0,
+                   finished_at=row["finished_at"], meta=meta)
 
     # ------------------------------------------------------------------
     # the four verbs (submit / result / stats / healthz)
     # ------------------------------------------------------------------
-    def submit(self, graph: CSRGraph, config: RunConfig) -> Job:
+    def submit(self, graph: CSRGraph, config: RunConfig, *,
+               tenant: str | None = None, priority: str = "normal") -> Job:
         """Admit one job (raises :class:`~repro.serve.queue.AdmissionError`
         with a reason on rejection) and wake the pump if one is running."""
-        job = self.queue.submit(graph, config)
+        job = self.queue.submit(graph, config, tenant=tenant,
+                                priority=priority)
         self._wake.set()
         return job
 
     def mutate(self, base_job_id: int, batch: MutationBatch, *,
                staleness_budget: float | None = 0.05,
-               mode: str = "sequential", threads: int = 1) -> Job:
+               mode: str = "sequential", threads: int = 1,
+               tenant: str | None = None, priority: str = "normal") -> Job:
         """Admit an incremental re-color of a finished job's mutated graph.
 
         The base job must be ``done``: its graph is the mutation target
@@ -100,9 +227,11 @@ class ColoringService:
 
         Mutation jobs are ordinary jobs downstream (scheduler, cache,
         ``/result``), and chain naturally: the returned job's id can be
-        the next call's ``base_job_id``.
+        the next call's ``base_job_id`` — including across a restart,
+        because ids are store-monotonic and the base coloring is
+        recoverable through the base job's key.
         """
-        base = self.queue.job(base_job_id)
+        base = self.result(base_job_id)
         if base is None:
             raise MutationError(f"unknown base job {base_job_id}", status=404)
         if not base.finished or base.result is None:
@@ -113,6 +242,17 @@ class ColoringService:
             raise MutationError(
                 f"delta must be a MutationBatch, got {type(batch).__name__}",
                 status=400)
+        if base.graph is None:
+            # terminal job restored from the store: reopen its graph
+            row = self.store.get(base_job_id)
+            if not row or not row.get("graph_ref"):
+                raise MutationError(
+                    f"base job {base_job_id} predates this service life and "
+                    "its graph was not persisted", status=409)
+            try:
+                base.graph = self.store.load_graph(row["graph_ref"])
+            except StoreError as exc:
+                raise MutationError(str(exc), status=409) from None
         try:
             mutated, dirty = apply_delta(base.graph, batch)
         except ValueError as exc:
@@ -121,11 +261,12 @@ class ColoringService:
                                  mode=mode, threads=threads,
                                  on_failure=base.config.on_failure)
         key = mutation_job_key(base.key, batch.digest(), config)
+        meta = {"base_job_id": base_job_id, "delta_digest": batch.digest(),
+                "dirty_vertices": int(dirty.size),
+                "initial_from_key": base.key}
         job = self.queue.submit(mutated, config, key=key,
-                                initial=base.result.coloring)
-        job.meta["base_job_id"] = base_job_id
-        job.meta["delta_digest"] = batch.digest()
-        job.meta["dirty_vertices"] = int(dirty.size)
+                                initial=base.result.coloring, meta=meta,
+                                tenant=tenant, priority=priority)
         if self.recorder.enabled:
             self.recorder.event("serve_mutate", base_job=base_job_id,
                                 job=job.id, dirty=int(dirty.size),
@@ -134,17 +275,38 @@ class ColoringService:
         return job
 
     def result(self, job_id: int) -> Job | None:
-        """The job (with ``result``/``error`` once terminal), or ``None``."""
-        return self.queue.job(job_id)
+        """The job (with ``result``/``error`` once terminal), or ``None``.
+
+        On a durable service a terminal job from a previous life is
+        restored from the store (result payload from the write-through
+        spill) and remembered, so repeated polls — and ``/mutate``
+        chains onto old base ids — keep working across restarts.
+        """
+        job = self.queue.job(job_id)
+        if job is not None:
+            return job
+        if not self.store.persistent:
+            return None
+        row = self.store.get(job_id)
+        if row is None or row["status"] not in ("done", "failed"):
+            return None
+        job = self._restore_terminal(row)
+        self.queue.remember(job)
+        return job
 
     def stats(self) -> dict:
-        """One JSON-ready dict: queue, scheduler, cache, and pool counters."""
+        """One JSON-ready dict: queue, scheduler, cache, store, and pool
+        counters (store depth by status, per-priority queue depth, and
+        job latency percentiles included)."""
         from ..shm import warm_pool
 
+        store_info = self.store.describe()
+        store_info["recovered"] = dict(self.recovered)
         return {
             "queue": self.queue.stats(),
             "scheduler": self.scheduler.stats(),
             "cache": self.cache.stats(),
+            "store": store_info,
             "pool": warm_pool().stats(),
         }
 
@@ -174,6 +336,7 @@ class ColoringService:
             "status": "ok",
             "pending": q["pending"],
             "in_flight": q["in_flight"],
+            "durable": self.store.persistent,
             "pump": self._pump is not None and self._pump.is_alive(),
         }
 
@@ -184,30 +347,30 @@ class ColoringService:
         """Drain the queue on the calling thread; return jobs resolved."""
         return self.scheduler.run_until_idle(max_rounds)
 
-    def submit_and_wait(self, graph: CSRGraph, config: RunConfig) -> Job:
+    def _drain_to(self, job: Job) -> Job:
+        """Drain cooperatively until *job* is terminal (no sleep-polling:
+        the completion event set in ``mark_terminal`` wakes the waiter)."""
+        while not job.finished:
+            if self.process() == 0 and not job.finished:
+                # pump thread got the batch first; block on its finish
+                self._wake.set()
+                job.wait(0.05)
+        return job
+
+    def submit_and_wait(self, graph: CSRGraph, config: RunConfig,
+                        **kwargs) -> Job:
         """Convenience one-shot: submit, drain, return the terminal job.
 
         With the pump running the drain is cooperative (whichever thread
         gets there first resolves the batch); without it, this is the
         purely synchronous single-threaded path.
         """
-        job = self.submit(graph, config)
-        while not job.finished:
-            if self.process() == 0 and not job.finished:
-                # pump thread got the batch first; let it finish
-                self._wake.set()
-                time.sleep(0.001)
-        return job
+        return self._drain_to(self.submit(graph, config, **kwargs))
 
     def mutate_and_wait(self, base_job_id: int, batch: MutationBatch,
                         **kwargs) -> Job:
         """Convenience one-shot mutation: admit, drain, return terminal job."""
-        job = self.mutate(base_job_id, batch, **kwargs)
-        while not job.finished:
-            if self.process() == 0 and not job.finished:
-                self._wake.set()
-                time.sleep(0.001)
-        return job
+        return self._drain_to(self.mutate(base_job_id, batch, **kwargs))
 
     # ------------------------------------------------------------------
     # background pump (the HTTP server's scheduling thread)
@@ -227,7 +390,9 @@ class ColoringService:
         ``purge_spill=True`` additionally clears the cache *including*
         its on-disk spill files — shutdown-means-gone for ephemeral
         services (tests, one-shot CLI serves) whose spill directory must
-        not resurrect results into a later run.
+        not resurrect results into a later run.  A store the service
+        opened itself (from a path) is closed here; an injected store
+        instance stays open, its owner decides.
         """
         self._stopping.set()
         self._wake.set()
@@ -236,6 +401,8 @@ class ColoringService:
             self._pump = None
         if purge_spill:
             self.cache.clear(purge_spill=True)
+        if self._owns_store:
+            self.store.close()
 
     def _pump_loop(self) -> None:
         while not self._stopping.is_set():

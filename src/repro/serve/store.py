@@ -1,0 +1,404 @@
+"""Durable job state: the :class:`JobStore` interface and its two backends.
+
+The serving pipeline (queue → scheduler → cache) keeps hot state in
+memory; what survives a process death is whatever the *job store* wrote.
+A store is deliberately narrow — it records **job lifecycle**, not
+results: one row per admitted job (monotonic id, content key, canonical
+config JSON, tenant/priority, status, error, bookkeeping metadata), plus
+a handle to the submitted graph so an interrupted job can be re-run
+after a restart.  Result payloads stay on the existing ``.npz`` spill
+path of :class:`~repro.serve.cache.ResultCache` — the store only needs
+the job's *key* to find them again.
+
+Status moves through ``pending → running → done/failed`` and every
+transition is atomic and checked: a compare-and-set against the legal
+predecessor states, so two racing actors can never both move the same
+job, and an illegal move (finishing a job twice, running a done job)
+raises :class:`StoreError` naming the actual state.  The one backward
+edge, ``running → pending``, is recovery: a restarted service re-admits
+jobs that died mid-flight.
+
+Two implementations:
+
+- :class:`MemoryStore` — dict + counter, nothing on disk.  The default;
+  a service built on it behaves bit-for-bit like the pre-store service
+  (same ids from 1, same lifecycle), it just forgets on exit.
+- :class:`SqliteStore` — one directory holding ``jobs.sqlite`` (WAL
+  mode, ``AUTOINCREMENT`` so ids survive restarts and are never
+  reissued), ``graphs/`` (submitted graphs as
+  :mod:`repro.graph.store` directories, deduplicated by content
+  fingerprint; an already-on-disk mmap store is referenced in place,
+  never copied), and ``spill/`` (the result cache's spill directory, so
+  one ``--store PATH`` keeps jobs and results together).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from itertools import count
+from pathlib import Path
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["JOB_STATES", "JobStore", "MemoryStore", "SqliteStore",
+           "StoreError", "open_store"]
+
+#: Lifecycle states a job moves through (strictly forward, except the
+#: recovery edge running → pending).
+JOB_STATES = ("pending", "running", "done", "failed")
+
+#: Legal predecessor states per target state (the compare half of every
+#: transition's compare-and-set).
+_ALLOWED_FROM = {
+    "running": ("pending",),
+    "done": ("pending", "running"),  # pending → done: cache/dedup hits
+    "failed": ("pending", "running"),
+    "pending": ("running", "pending"),  # recovery requeue (idempotent)
+}
+
+
+class StoreError(RuntimeError):
+    """An illegal store operation (bad transition, unknown job, no data)."""
+
+
+class JobStore(ABC):
+    """Narrow persistence interface the serving layers read/write through.
+
+    A *record* is a plain dict with the keys ``id``, ``key``, ``status``,
+    ``config`` (the :meth:`~repro.run.RunConfig.to_dict` mapping),
+    ``graph_ref``, ``tenant``, ``priority``, ``source``, ``error``,
+    ``meta`` (dict), ``submitted_at``, ``finished_at``.
+    """
+
+    #: Whether state written here survives process death.
+    persistent: bool = False
+
+    # -- lifecycle ------------------------------------------------------
+    @abstractmethod
+    def allocate(self, *, key: str, config: dict, graph_ref: str | None = None,
+                 tenant: str | None = None, priority: str = "normal",
+                 meta: dict | None = None,
+                 submitted_at: float | None = None) -> int:
+        """Insert one ``pending`` job; returns its monotonic id (never reused)."""
+
+    @abstractmethod
+    def transition(self, job_id: int, status: str, *, source: str | None = None,
+                   error: str | None = None, meta: dict | None = None,
+                   finished_at: float | None = None) -> None:
+        """Atomically move *job_id* to *status*, or raise :class:`StoreError`.
+
+        The move succeeds only from a legal predecessor state (see
+        ``pending → running → done/failed`` plus the recovery edge
+        ``running → pending``); *meta* is merged into the stored dict.
+        """
+
+    # -- queries --------------------------------------------------------
+    @abstractmethod
+    def get(self, job_id: int) -> dict | None:
+        """The record for *job_id*, or ``None`` when unknown."""
+
+    @abstractmethod
+    def by_status(self, *statuses: str) -> list[dict]:
+        """All records currently in any of *statuses*, in id order."""
+
+    @abstractmethod
+    def counts(self) -> dict:
+        """Job depth by status: ``{status: count}`` for every known state."""
+
+    # -- graph payloads -------------------------------------------------
+    def persist_graph(self, graph: CSRGraph) -> str | None:
+        """Make *graph* recoverable; returns a ref for :meth:`load_graph`.
+
+        ``None`` means "not persisted" (the memory store) — such a job
+        cannot be re-run after a restart, only served from its result.
+        """
+        return None
+
+    def load_graph(self, ref: str) -> CSRGraph:
+        """Reopen a graph persisted by :meth:`persist_graph`."""
+        raise StoreError(f"{type(self).__name__} does not persist graphs "
+                         f"(ref {ref!r})")
+
+    # -- misc -----------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-ready identity + depth summary (the ``/stats`` block)."""
+        return {"kind": type(self).__name__, "persistent": self.persistent,
+                "by_status": self.counts()}
+
+    def close(self) -> None:
+        """Release any underlying handles (idempotent)."""
+
+
+def _check_transition(job_id: int, current: str | None, status: str) -> None:
+    if status not in _ALLOWED_FROM:
+        raise StoreError(f"unknown target status {status!r}; "
+                         f"choose from {list(JOB_STATES)}")
+    if current is None:
+        raise StoreError(f"unknown job id {job_id}")
+    if current == status == "pending":
+        return  # idempotent requeue of a never-dispatched job
+    if current not in _ALLOWED_FROM[status]:
+        raise StoreError(
+            f"job {job_id} is {current!r}; cannot transition to {status!r} "
+            f"(legal from {list(_ALLOWED_FROM[status])})")
+
+
+class MemoryStore(JobStore):
+    """In-process store: the pre-durability behavior, made explicit.
+
+    Ids count from 1 exactly like the old in-queue counter, transitions
+    are enforced the same way as the sqlite backend (so tests exercise
+    identical semantics), and nothing touches disk.
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._ids = count(1)
+        self._rows: dict[int, dict] = {}
+
+    def allocate(self, *, key, config, graph_ref=None, tenant=None,
+                 priority="normal", meta=None, submitted_at=None) -> int:
+        with self._lock:
+            job_id = next(self._ids)
+            self._rows[job_id] = {
+                "id": job_id, "key": key, "status": "pending",
+                "config": dict(config), "graph_ref": graph_ref,
+                "tenant": tenant, "priority": priority, "source": None,
+                "error": None, "meta": dict(meta or {}),
+                "submitted_at": submitted_at, "finished_at": None,
+            }
+            return job_id
+
+    def transition(self, job_id, status, *, source=None, error=None,
+                   meta=None, finished_at=None) -> None:
+        with self._lock:
+            row = self._rows.get(job_id)
+            _check_transition(job_id, row["status"] if row else None, status)
+            row["status"] = status
+            if source is not None:
+                row["source"] = source
+            if error is not None:
+                row["error"] = error
+            if meta:
+                row["meta"].update(meta)
+            if finished_at is not None:
+                row["finished_at"] = finished_at
+
+    def get(self, job_id):
+        with self._lock:
+            row = self._rows.get(job_id)
+            return dict(row, meta=dict(row["meta"])) if row else None
+
+    def by_status(self, *statuses):
+        with self._lock:
+            return [dict(row, meta=dict(row["meta"]))
+                    for row in sorted(self._rows.values(), key=lambda r: r["id"])
+                    if row["status"] in statuses]
+
+    def counts(self):
+        with self._lock:
+            out = {state: 0 for state in JOB_STATES}
+            for row in self._rows.values():
+                out[row["status"]] += 1
+            return out
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    key TEXT NOT NULL,
+    status TEXT NOT NULL DEFAULT 'pending',
+    config TEXT NOT NULL,
+    graph_ref TEXT,
+    tenant TEXT,
+    priority TEXT NOT NULL DEFAULT 'normal',
+    source TEXT,
+    error TEXT,
+    meta TEXT NOT NULL DEFAULT '{}',
+    submitted_at REAL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status);
+"""
+
+_COLUMNS = ("id", "key", "status", "config", "graph_ref", "tenant",
+            "priority", "source", "error", "meta", "submitted_at",
+            "finished_at")
+
+
+class SqliteStore(JobStore):
+    """sqlite-backed store rooted at one directory.
+
+    Layout: ``<root>/jobs.sqlite`` (WAL journal — readers never block the
+    writer, and a mid-transaction crash rolls back to a consistent
+    state), ``<root>/graphs/<fingerprint>/`` (submitted graphs as
+    :mod:`repro.graph.store` directories, content-deduplicated),
+    ``<root>/spill/`` (handed to the result cache as its spill
+    directory).  ``AUTOINCREMENT`` makes job ids monotonic across
+    restarts *and* deletes — an id observed by any client is never
+    reissued, so chained ``/mutate`` base ids and spilled results can
+    never collide with a later job.
+
+    The connection is shared across threads behind one lock (the HTTP
+    front submits from handler threads while the scheduler transitions
+    from workers); every write commits immediately, so durability is
+    per-operation.
+    """
+
+    persistent = True
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.graphs_dir = self.root / "graphs"
+        self.spill_dir = self.root / "spill"
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.root / "jobs.sqlite",
+                                     check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # -- lifecycle ------------------------------------------------------
+    def allocate(self, *, key, config, graph_ref=None, tenant=None,
+                 priority="normal", meta=None, submitted_at=None) -> int:
+        payload = json.dumps(config, sort_keys=True)
+        meta_json = json.dumps(meta or {}, sort_keys=True)
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO jobs (key, config, graph_ref, tenant, priority,"
+                " meta, submitted_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (key, payload, graph_ref, tenant, priority, meta_json,
+                 submitted_at))
+            self._conn.commit()
+            return int(cur.lastrowid)
+
+    def transition(self, job_id, status, *, source=None, error=None,
+                   meta=None, finished_at=None) -> None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status, meta FROM jobs WHERE id = ?",
+                (int(job_id),)).fetchone()
+            _check_transition(job_id, row["status"] if row else None, status)
+            sets = ["status = ?"]
+            args: list = [status]
+            if source is not None:
+                sets.append("source = ?")
+                args.append(source)
+            if error is not None:
+                sets.append("error = ?")
+                args.append(error)
+            if meta:
+                merged = json.loads(row["meta"])
+                merged.update(meta)
+                sets.append("meta = ?")
+                args.append(json.dumps(merged, sort_keys=True))
+            if finished_at is not None:
+                sets.append("finished_at = ?")
+                args.append(finished_at)
+            # compare-and-set: the WHERE re-checks the predecessor state
+            # inside the write, so a racing transition loses loudly
+            allowed = _ALLOWED_FROM[status]
+            marks = ",".join("?" * len(allowed))
+            cur = self._conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE id = ? "
+                f"AND status IN ({marks})",
+                (*args, int(job_id), *allowed))
+            self._conn.commit()
+            if cur.rowcount != 1 and not (status == "pending"
+                                          and row["status"] == "pending"):
+                raise StoreError(  # pragma: no cover - needs an exact race
+                    f"job {job_id} moved concurrently; transition to "
+                    f"{status!r} lost")
+
+    # -- queries --------------------------------------------------------
+    @staticmethod
+    def _record(row) -> dict:
+        rec = {name: row[name] for name in _COLUMNS}
+        rec["config"] = json.loads(rec["config"])
+        rec["meta"] = json.loads(rec["meta"])
+        return rec
+
+    def get(self, job_id):
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (int(job_id),)).fetchone()
+        return self._record(row) if row else None
+
+    def by_status(self, *statuses):
+        marks = ",".join("?" * len(statuses))
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs WHERE status IN ({marks}) ORDER BY id",
+                statuses).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self):
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        out = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            out[row["status"]] = int(row["n"])
+        return out
+
+    # -- graph payloads -------------------------------------------------
+    def persist_graph(self, graph: CSRGraph) -> str:
+        """Persist *graph* under ``graphs/<fingerprint>``; dedup by content.
+
+        A graph already memory-mapped from a :mod:`repro.graph.store`
+        directory is referenced in place — re-running the job reopens
+        the same store, no copy ever happens.
+        """
+        from ..graph.store import is_graph_store, save_graph
+
+        mmap_paths = getattr(graph, "mmap_paths", None)
+        if mmap_paths:
+            origin = Path(mmap_paths[0]).parent
+            if is_graph_store(origin):
+                return str(origin)
+        dest = self.graphs_dir / graph.fingerprint()
+        if not is_graph_store(dest):
+            save_graph(graph, dest)
+        return str(dest)
+
+    def load_graph(self, ref: str) -> CSRGraph:
+        from ..graph.store import load_graph
+
+        try:
+            return load_graph(ref, mmap=True)
+        except ValueError as exc:
+            raise StoreError(f"graph for ref {ref!r} is unrecoverable: "
+                             f"{exc}") from None
+
+    # -- misc -----------------------------------------------------------
+    def describe(self):
+        info = super().describe()
+        info["path"] = str(self.root)
+        return info
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def open_store(store) -> JobStore:
+    """Coerce a ``store=`` argument: instance passes through, path opens
+    a :class:`SqliteStore` rooted there, ``None`` means in-memory."""
+    if store is None:
+        return MemoryStore()
+    if isinstance(store, JobStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return SqliteStore(store)
+    raise TypeError(f"store must be a JobStore, a path, or None, "
+                    f"got {type(store).__name__}")

@@ -76,9 +76,10 @@ class WarmPool:
         self._method = context
         self._pool = None
         self._processes = 0
+        self._retired: list = []
         self._lock = threading.RLock()
         self._stats = {"cold_starts": 0, "reused": 0, "jobs": 0,
-                       "grown": 0}
+                       "grown": 0, "retired": 0}
 
     # ------------------------------------------------------------------
     def ensure(self, processes: int, *, context: str | None = None) -> bool:
@@ -100,7 +101,7 @@ class WarmPool:
             grown = self._pool is not None
             if grown:
                 self._stats["grown"] += 1
-                self._teardown()
+                self._retire_locked()
             ctx = pick_context(context or self._method)
             self._method = ctx.get_start_method()
             # no initializer/initargs: workers are stateless until the
@@ -134,12 +135,34 @@ class WarmPool:
             return {**self._stats, "processes": self._processes,
                     "context": self._method}
 
-    def _teardown(self) -> None:
+    def _retire_locked(self) -> None:
+        """Replace the pool without killing its in-flight tasks.
+
+        The serving layer shares this pool across concurrent scheduler
+        threads: one job can be mid-round (holding ``AsyncResult``
+        handles) while another's ``ensure`` grows the pool.  Terminating
+        here would abort the first job's tasks and force its guarded
+        rounds through timeout/retry, so the old pool is *retired*
+        instead: ``close()`` lets queued tasks drain (its worker
+        processes exit on their own once the queue empties) and the
+        handle is kept so shutdown can still join it.
+        """
         pool, self._pool = self._pool, None
         self._processes = 0
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            pool.close()
+            self._retired.append(pool)
+            self._stats["retired"] += 1
+
+    def _teardown(self) -> None:
+        pool, self._pool = self._pool, None
+        self._processes = 0
+        retired, self._retired = self._retired, []
+        if pool is not None:
+            retired.append(pool)
+        for old in retired:
+            old.terminate()
+            old.join()
 
     def shutdown(self) -> None:
         """Terminate the workers (idempotent); counters survive."""

@@ -161,3 +161,40 @@ def test_quick_incremental_bench_runs_and_passes_baseline_check(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["meta"]["mode"] == "quick"
     assert all(r["proper"] for r in payload["results"])
+
+
+BENCH_SHARD = REPO_ROOT / "benchmarks" / "bench_shard.py"
+BASELINE_SHARD = REPO_ROOT / "BENCH_shard.json"
+
+
+def test_shard_baseline_artifact_meets_acceptance_floors():
+    """The checked-in artifact must show the PR's acceptance numbers: a
+    modeled critical-path speedup >= 2x with 4 shards on a >=1e6-edge
+    graph, a proper coloring, and one-shard bit-parity with the
+    sequential sweep."""
+    payload = json.loads(BASELINE_SHARD.read_text())
+    row = payload["results"]["shard"]
+    assert payload["meta"]["mode"] == "full"
+    assert row["num_edges"] >= 1_000_000
+    assert row["shards"] == 4
+    assert row["speedup"] >= 2.0
+    assert row["proper"] is True
+    assert row["single_shard_bit_identical"] is True
+    assert row["conflict_fraction"] <= 0.10
+
+
+@pytest.mark.slow
+def test_quick_shard_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_shard_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_SHARD), "--quick", "--out", str(out),
+         "--check", str(BASELINE_SHARD)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    assert payload["results"]["shard"]["proper"] is True

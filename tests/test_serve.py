@@ -15,7 +15,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-import repro.serve.scheduler as scheduler_mod
+import repro.serve.backends as backends_mod
 from repro.graph import cycle_graph, erdos_renyi_graph, path_graph
 from repro.run import RunConfig, execute
 from repro.serve import (
@@ -41,13 +41,13 @@ def graph():
 def counted_execute(monkeypatch):
     """Patch the scheduler's execute with a call-counting wrapper."""
     calls: list[RunConfig] = []
-    real = scheduler_mod.execute
+    real = backends_mod.execute
 
     def counting(graph, config, *, initial=None):
         calls.append(config)
         return real(graph, config, initial=initial)
 
-    monkeypatch.setattr(scheduler_mod, "execute", counting)
+    monkeypatch.setattr(backends_mod, "execute", counting)
     return calls
 
 
@@ -281,7 +281,7 @@ class TestService:
         def boom(graph, config, *, initial=None):
             raise RuntimeError("worker exploded")
 
-        monkeypatch.setattr(scheduler_mod, "execute", boom)
+        monkeypatch.setattr(backends_mod, "execute", boom)
         svc = ColoringService(max_pending=1)
         job = svc.submit_and_wait(graph, RunConfig("greedy-ff", seed=0))
         assert job.status == "failed"
@@ -291,7 +291,7 @@ class TestService:
 
     def test_failure_not_cached(self, graph, monkeypatch):
         calls = []
-        real = scheduler_mod.execute
+        real = backends_mod.execute
 
         def flaky(graph, config, *, initial=None):
             calls.append(config)
@@ -299,7 +299,7 @@ class TestService:
                 raise RuntimeError("transient")
             return real(graph, config, initial=initial)
 
-        monkeypatch.setattr(scheduler_mod, "execute", flaky)
+        monkeypatch.setattr(backends_mod, "execute", flaky)
         svc = ColoringService()
         cfg = RunConfig("greedy-ff", seed=0)
         assert svc.submit_and_wait(graph, cfg).status == "failed"
@@ -386,7 +386,7 @@ class TestDispatch:
         svc = ColoringService()
         status, reply = dispatch(svc, "POST", "/submit", self._submit_body())
         assert status == 202
-        assert reply["status"] == "queued"
+        assert reply["status"] == "pending"
         svc.process()
         status, result = dispatch(svc, "GET", f"/result/{reply['job_id']}")
         assert status == 200

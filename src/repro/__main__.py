@@ -207,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="tenant_quota", metavar="N",
                        help="max unfinished jobs per tenant; submits over "
                        "the quota are rejected with 429 (default: unlimited)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="'serve': run the supervisor (warm-pool "
+                       "heartbeats + respawn, deadline sweeps, pump "
+                       "restarts) and the degradation ladder "
+                       "(sharded → inline → sequential behind circuit "
+                       "breakers)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="MS", dest="deadline_ms",
+                       help="'submit': wall-clock budget in milliseconds — "
+                       "a job that outlives it is failed fast with "
+                       "reason='deadline' instead of occupying a worker")
     serve.add_argument("--url", default="http://127.0.0.1:8734",
                        help="service base URL for 'submit' "
                        "(default http://127.0.0.1:8734)")
@@ -348,6 +359,8 @@ def _serve_command(args) -> int:
             store=args.job_store,
             backend=args.shards or None,
             tenant_quota=args.tenant_quota,
+            supervise=args.supervise,
+            fault_plan=args.fault_plan,
         )
         server = make_server(service, host=args.host, port=args.port)
     except (ValueError, OSError) as exc:
@@ -369,7 +382,8 @@ def _serve_command(args) -> int:
           f"(workers={args.workers}, cache={max_bytes // (1024 * 1024)}MiB, "
           f"spill={args.spill_dir or 'off'}, "
           f"store={args.job_store or 'memory'}, "
-          f"backend={'sharded:%d' % args.shards if args.shards else 'inline'})",
+          f"backend={'sharded:%d' % args.shards if args.shards else 'inline'}, "
+          f"supervise={'on' if args.supervise else 'off'})",
           flush=True)
     print("endpoints: POST /submit  POST /mutate  GET /result/<id>  "
           "GET /stats  GET /healthz", flush=True)
@@ -397,6 +411,8 @@ def _submit_command(args, parser: argparse.ArgumentParser) -> int:
         "fault_plan": args.fault_plan,
     }
     payload = {"scale": args.scale, "seed": args.seed, "config": config}
+    if args.deadline_ms is not None:
+        payload["deadline_ms"] = args.deadline_ms
     if args.tenant is not None:
         payload["tenant"] = args.tenant
     if args.priority != "normal":

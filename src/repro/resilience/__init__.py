@@ -22,6 +22,8 @@ See DESIGN.md §10 for the fault model and the determinism guarantees.
 
 from .faults import (
     FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
     InjectedFault,
@@ -48,6 +50,8 @@ __all__ = [
     "InvariantViolationError",
     "NO_FAULTS",
     "ON_FAILURE_POLICIES",
+    "PROCESS_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "ConvergenceWatchdog",
     "Violation",
     "check_invariants",

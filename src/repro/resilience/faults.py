@@ -23,6 +23,21 @@ injection points:
   discarded), exercising the convergence watchdog of the tick-machine
   loops.
 
+Beyond the algorithm-level faults above, the same plan grammar drives
+**process/IO-level chaos** against the serving stack (the sites consult
+:meth:`FaultPlan.for_op` with a 0-based *occurrence index* in place of a
+round):
+
+- ``poolkill`` — the supervisor SIGKILLs a live warm-pool worker process
+  on its N-th supervision tick (``.wM`` picks which worker, default 0),
+  exercising heartbeat detection and pool respawn;
+- ``spill`` — the N-th result-cache spill write raises ``ENOSPC``,
+  exercising the cache's degrade-to-memory-only path;
+- ``spillrot`` — the N-th spill write lands *truncated* on disk (a torn
+  write), exercising read-side quarantine of corrupt ``.npz`` files;
+- ``storeerr`` — the N-th job-store transition raises ``StoreError``,
+  exercising best-effort durability (memory stays the source of truth).
+
 Plans parse from a compact spec string (CLI ``--fault-plan``, env
 ``REPRO_FAULT_PLAN``)::
 
@@ -32,8 +47,12 @@ Plans parse from a compact spec string (CLI ``--fault-plan``, env
     stale@r2.w0             serve block 0 a stale snapshot in round 2
     stick@r0:4              rounds 0..3 commit nothing (superstep loops)
     kill@r0.w0x3            fire on the first 3 attempts (retries included)
+    poolkill@r2.w1          SIGKILL pool worker 1 on supervisor tick 2
+    spill@r0x3              spill writes 0..2 fail with ENOSPC
+    storeerr@r1x2           store transitions 1..2 raise StoreError
 
-Multiple faults join with ``;``.  Rounds and workers are 0-based.
+Multiple faults join with ``;``.  Rounds, workers, and occurrence
+indices are 0-based.
 """
 
 from __future__ import annotations
@@ -46,6 +65,8 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
@@ -53,8 +74,15 @@ __all__ = [
     "resolve_fault_plan",
 ]
 
+#: Worker-task faults, matched by (round, worker) via :meth:`FaultPlan.for_task`.
+WORKER_FAULT_KINDS = ("kill", "stall", "corrupt", "stale")
+
+#: Process/IO chaos faults, matched by occurrence index via
+#: :meth:`FaultPlan.for_op` at their respective serving-stack sites.
+PROCESS_FAULT_KINDS = ("poolkill", "spill", "spillrot", "storeerr")
+
 #: Recognized fault kinds, by injection point.
-FAULT_KINDS = ("kill", "stall", "corrupt", "stale", "stick")
+FAULT_KINDS = WORKER_FAULT_KINDS + ("stick",) + PROCESS_FAULT_KINDS
 
 #: Environment variable consulted when no plan is passed explicitly.
 ENV_VAR = "REPRO_FAULT_PLAN"
@@ -68,12 +96,16 @@ class InjectedFault(RuntimeError):
 class FaultSpec:
     """One injected failure: what, when, and how often.
 
-    ``round`` is the 0-based speculation/superstep round; ``worker`` the
-    0-based block/worker index (ignored for ``stick``).  ``duration`` is
-    the stall sleep in seconds, or the number of wasted rounds for
-    ``stick``.  ``attempts`` makes the fault fire on the first N attempts
-    of the same (round, worker) task, so a plan can also defeat retries
-    and force the salvage path.
+    ``round`` is the 0-based speculation/superstep round — or, for the
+    process/IO chaos kinds, the 0-based *occurrence index* at the
+    injection site (supervision tick, spill write, store transition).
+    ``worker`` is the 0-based block/worker index (ignored for ``stick``
+    and the IO kinds; for ``poolkill`` it picks which pool worker dies).
+    ``duration`` is the stall sleep in seconds, or the number of wasted
+    rounds for ``stick``.  ``attempts`` makes the fault fire on the
+    first N attempts of the same (round, worker) task — or, for the
+    chaos kinds, on N consecutive occurrences starting at ``round`` —
+    so a plan can also defeat retries and force the salvage path.
     """
 
     kind: str
@@ -98,7 +130,7 @@ class FaultSpec:
     def to_spec(self) -> str:
         """The compact string form this spec parses back from."""
         text = f"{self.kind}@r{self.round}"
-        if self.kind != "stick":
+        if self.kind in WORKER_FAULT_KINDS or self.kind == "poolkill":
             text += f".w{self.worker}"
         if self.kind == "stall":
             text += f":{self.duration:g}"
@@ -125,7 +157,7 @@ def _parse_one(token: str) -> FaultSpec:
             f"with kind in {FAULT_KINDS}"
         )
     kind = m.group("kind")
-    if kind != "stick" and m.group("worker") is None:
+    if kind in WORKER_FAULT_KINDS and m.group("worker") is None:
         raise ValueError(f"fault spec {token!r} needs a worker (.wM) for kind {kind!r}")
     return FaultSpec(
         kind=kind,
@@ -172,11 +204,30 @@ class FaultPlan:
 
         Matches ``kill``/``stall``/``corrupt``/``stale`` specs whose
         (round, worker) equal the task's and whose ``attempts`` budget
-        covers *attempt* (0-based).  First match wins.
+        covers *attempt* (0-based).  First match wins.  The ``stick``
+        and process/IO chaos kinds never match here — they fire at their
+        own sites (:meth:`stick_active` / :meth:`for_op`).
         """
         for f in self.faults:
-            if (f.kind != "stick" and f.round == round and f.worker == worker
-                    and attempt < f.attempts):
+            if (f.kind in WORKER_FAULT_KINDS and f.round == round
+                    and f.worker == worker and attempt < f.attempts):
+                return f
+        return None
+
+    def for_op(self, kind: str, index: int) -> FaultSpec | None:
+        """The process/IO fault to inject at occurrence *index*, if any.
+
+        Chaos sites (supervision ticks, spill writes, store transitions)
+        keep their own 0-based occurrence counter and consult the plan
+        with it; a spec fires when ``round <= index < round + attempts``
+        (``xK`` widens the window to K consecutive occurrences).  First
+        match wins.
+        """
+        if kind not in PROCESS_FAULT_KINDS:
+            raise ValueError(
+                f"for_op kind must be one of {PROCESS_FAULT_KINDS}, got {kind!r}")
+        for f in self.faults:
+            if f.kind == kind and f.round <= index < f.round + f.attempts:
                 return f
         return None
 

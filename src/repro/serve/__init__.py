@@ -23,6 +23,11 @@ every request.  It is layered bottom-up:
 - :mod:`repro.serve.scheduler` — :class:`BatchScheduler`: per-round
   cache lookup, in-flight dedup, compatible grouping, worker-pool
   dispatch under the job's resilience policy;
+- :mod:`repro.serve.supervisor` — the robustness layer:
+  :class:`Supervisor` (warm-pool heartbeats, respawn, deadline sweeps,
+  pump restarts), :class:`DegradingBackend` (the breaker-driven
+  degradation ladder ``sharded → inline → sequential``), and
+  :class:`CircuitBreaker`;
 - :mod:`repro.serve.service` — :class:`ColoringService`, the in-process
   façade (``submit`` / ``mutate`` / ``result`` / ``stats`` /
   ``healthz``) with restart recovery on durable stores;
@@ -66,14 +71,30 @@ from .queue import (
 )
 from .scheduler import BatchScheduler
 from .service import ColoringService, MutationError
-from .store import JobStore, MemoryStore, SqliteStore, StoreError, open_store
+from .store import (
+    ChaosStore,
+    JobStore,
+    MemoryStore,
+    SqliteStore,
+    StoreError,
+    open_store,
+)
+from .supervisor import (
+    CircuitBreaker,
+    DegradingBackend,
+    SequentialBackend,
+    Supervisor,
+)
 
 __all__ = [
     "AdmissionError",
     "BatchScheduler",
+    "ChaosStore",
+    "CircuitBreaker",
     "ColoringService",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_PENDING",
+    "DegradingBackend",
     "ExecutionBackend",
     "InlineBackend",
     "JOB_STATES",
@@ -83,10 +104,12 @@ __all__ = [
     "MutationError",
     "PRIORITIES",
     "ResultCache",
+    "SequentialBackend",
     "ShardedBackend",
     "SqliteStore",
     "StoreError",
     "SubmissionQueue",
+    "Supervisor",
     "config_fingerprint",
     "graph_fingerprint",
     "job_key",

@@ -14,7 +14,12 @@ The protocol is deliberately small and JSON-only:
   unknown ids); once done, balance/color counts, and the full coloring
   array when ``colors=1`` is asked for.
 - ``GET /stats`` — the service's merged queue/scheduler/cache counters.
-- ``GET /healthz`` — liveness and backlog.
+- ``GET /healthz`` — three-state health (``live``/``ready``/``degraded``
+  with the degradation reasons) and backlog.
+
+``/submit`` and ``/mutate`` accept an optional ``deadline_ms`` — a
+wall-clock budget from admission; jobs that outlive it are failed fast
+with ``reason="deadline"``.
 
 Routing lives in the socketless :func:`dispatch` function so the whole
 protocol is unit-testable in-process; :class:`ServeHandler` merely
@@ -52,7 +57,23 @@ def dispatch(service: ColoringService, method: str, path: str,
 
     Pure function of the service and the request — no sockets, no
     threads — so tests drive the full protocol deterministically.
+
+    An unexpected handler exception never leaks a raw traceback to the
+    client: it is recorded on the service's recorder and answered as a
+    structured ``500 {"error": reason}``.
     """
+    try:
+        return _route(service, method, path, body)
+    except Exception as exc:  # noqa: BLE001 - last-resort boundary
+        reason = f"internal error: {type(exc).__name__}: {exc}"
+        service.recorder.count("serve.http.errors")
+        service.recorder.event("serve_http_error", method=method,
+                               path=path, error=reason)
+        return 500, {"error": reason}
+
+
+def _route(service: ColoringService, method: str, path: str,
+           body: dict | None = None) -> tuple[int, dict]:
     split = urlsplit(path)
     route = split.path.rstrip("/") or "/"
     query = parse_qs(split.query)
@@ -74,14 +95,21 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
     if not isinstance(body, dict):
         return 400, {"error": "submit body must be a JSON object"}
     unknown = sorted(set(body) - {"input", "scale", "seed", "config",
-                                  "graph_file", "tenant", "priority"})
+                                  "graph_file", "tenant", "priority",
+                                  "deadline_ms"})
     if unknown:
         return 400, {"error": f"unknown submit field(s) {unknown}; expected "
                               "input/scale/seed/config/graph_file/tenant/"
-                              "priority"}
+                              "priority/deadline_ms"}
     tenant = body.get("tenant")
     if tenant is not None and not isinstance(tenant, str):
         return 400, {"error": "tenant must be a string or null"}
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            return 400, {"error": "deadline_ms must be a number or null"}
     graph_file = body.get("graph_file")
     if graph_file is not None and "input" in body:
         return 400, {"error": "give either 'input' or 'graph_file', not both"}
@@ -107,7 +135,8 @@ def _submit(service: ColoringService, body: dict) -> tuple[int, dict]:
         return 400, {"error": str(exc)}
     try:
         job = service.submit(graph, config, tenant=tenant,
-                             priority=str(body.get("priority", "normal")))
+                             priority=str(body.get("priority", "normal")),
+                             deadline_ms=deadline_ms)
     except AdmissionError as exc:
         status = 429 if _is_backpressure(exc) else 400
         return status, {"error": exc.reason}
@@ -133,14 +162,21 @@ def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
     if not isinstance(body, dict):
         return 400, {"error": "mutate body must be a JSON object"}
     unknown = sorted(set(body) - {"base_job_id", "delta", "staleness_budget",
-                                  "mode", "threads", "tenant", "priority"})
+                                  "mode", "threads", "tenant", "priority",
+                                  "deadline_ms"})
     if unknown:
         return 400, {"error": f"unknown mutate field(s) {unknown}; expected "
                               "base_job_id/delta/staleness_budget/mode/"
-                              "threads/tenant/priority"}
+                              "threads/tenant/priority/deadline_ms"}
     tenant = body.get("tenant")
     if tenant is not None and not isinstance(tenant, str):
         return 400, {"error": "tenant must be a string or null"}
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            return 400, {"error": "deadline_ms must be a number or null"}
     try:
         base_job_id = int(body["base_job_id"])
     except (KeyError, TypeError, ValueError):
@@ -166,7 +202,8 @@ def _mutate(service: ColoringService, body: dict) -> tuple[int, dict]:
         job = service.mutate(base_job_id, batch, staleness_budget=budget,
                              mode=str(body.get("mode", "sequential")),
                              threads=threads, tenant=tenant,
-                             priority=str(body.get("priority", "normal")))
+                             priority=str(body.get("priority", "normal")),
+                             deadline_ms=deadline_ms)
     except MutationError as exc:
         return exc.status, {"error": exc.reason}
     except AdmissionError as exc:

@@ -19,12 +19,23 @@ via :func:`repro.obs.as_recorder`, so the process-installed recorder is
 honored) under ``serve.cache.*`` names, and :meth:`ResultCache.stats`
 returns the same numbers as a plain dict.
 
+Spill I/O is treated as best-effort: a write failure (ENOSPC, permission)
+is counted under ``spill_errors`` and — after two consecutive failures —
+degrades the cache to memory-only mode rather than letting the ``OSError``
+propagate out of the scheduler thread.  A spill file that fails to *load*
+(truncated write, bit rot, schema drift) is quarantined by renaming it to
+``<key>.npz.corrupt`` and counted under ``spill_corrupt``; the ``get``
+simply misses and the job recomputes.  The chaos plan kinds ``spill``
+(injected ENOSPC) and ``spillrot`` (torn write) exercise both paths
+deterministically.
+
 All operations are thread-safe — the batching scheduler's worker pool
 publishes results concurrently.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from collections import OrderedDict
@@ -35,9 +46,13 @@ import numpy as np
 from ..coloring.balance import balance_report
 from ..coloring.types import Coloring
 from ..obs import NULL, as_recorder
+from ..resilience import NO_FAULTS
 from ..run.config import RunConfig, RunResult
 
 __all__ = ["DEFAULT_MAX_BYTES", "ResultCache"]
+
+#: Consecutive spill-write failures before the cache stops trying disk.
+_SPILL_DEGRADE_AFTER = 2
 
 #: Default in-memory budget: generous for colorings (64 MiB ≈ 8M vertices).
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
@@ -76,11 +91,16 @@ class ResultCache:
     recorder:
         Observability sink for the ``serve.cache.*`` counters; resolves
         like every other ``recorder=`` argument in the codebase.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` whose ``spill`` /
+        ``spillrot`` specs inject write failures at chosen spill
+        occurrences (chaos testing); defaults to no faults.
     """
 
     def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES,
                  spill_dir: str | Path | None = None,
-                 write_through: bool = False, recorder=None):
+                 write_through: bool = False, recorder=None,
+                 fault_plan=None):
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         if write_through and spill_dir is None:
@@ -89,6 +109,7 @@ class ResultCache:
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.write_through = bool(write_through)
         self._rec = as_recorder(recorder)
+        self._plan = fault_plan if fault_plan is not None else NO_FAULTS
         self._lock = threading.RLock()
         self._entries: OrderedDict[str, tuple[RunResult, int]] = OrderedDict()
         self._bytes = 0
@@ -97,6 +118,11 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._spills = 0
+        self._spill_attempts = 0
+        self._spill_errors = 0
+        self._spill_error_streak = 0
+        self._spill_corrupt = 0
+        self._spill_degraded = False
 
     # ------------------------------------------------------------------
     # core operations
@@ -186,12 +212,19 @@ class ResultCache:
         """Delete every spill artifact (``.npz`` plus stray ``.tmp``)."""
         if self.spill_dir is None or not self.spill_dir.is_dir():
             return
-        for path in list(self.spill_dir.glob("*.npz")) + list(
-                self.spill_dir.glob("*.npz.tmp")):
+        for path in (list(self.spill_dir.glob("*.npz"))
+                     + list(self.spill_dir.glob("*.npz.tmp"))
+                     + list(self.spill_dir.glob("*.npz.corrupt"))):
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - concurrent external delete
                 pass
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated spill failures forced memory-only mode."""
+        with self._lock:
+            return self._spill_degraded
 
     def stats(self) -> dict:
         """Counter snapshot: hits/misses/evictions/spills plus occupancy."""
@@ -202,6 +235,9 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "spills": self._spills,
+                "spill_errors": self._spill_errors,
+                "spill_corrupt": self._spill_corrupt,
+                "degraded": self._spill_degraded,
                 "entries": len(self._entries),
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
@@ -231,12 +267,38 @@ class ResultCache:
 
     def _spill(self, key: str, result: RunResult) -> None:
         path = self._spill_path(key)
-        if path is None:
+        if path is None or self._spill_degraded:
             return
         try:
             config_json = json.dumps(result.config.to_dict(), sort_keys=True)
         except ValueError:
             return  # unserializable config: evict without persisting
+        idx, self._spill_attempts = self._spill_attempts, self._spill_attempts + 1
+        try:
+            self._write_spill_locked(key, path, result, config_json, idx)
+        except OSError as exc:
+            # full disk / revoked permissions must not escape the
+            # scheduler thread: count, and after repeated failures stop
+            # touching the disk entirely (memory-only mode)
+            self._spill_errors += 1
+            self._spill_error_streak += 1
+            self._rec.count("serve.cache.spill_errors")
+            self._rec.event("serve_cache_spill_error",
+                            key=key, error=str(exc))
+            if self._spill_error_streak >= _SPILL_DEGRADE_AFTER:
+                self._spill_degraded = True
+                self._rec.event("serve_cache_degraded",
+                                after_errors=self._spill_errors)
+            return
+        self._spill_error_streak = 0
+        self._spills += 1
+        self._rec.count("serve.cache.spills")
+
+    def _write_spill_locked(self, key: str, path: Path, result: RunResult,
+                            config_json: str, idx: int) -> None:
+        """One spill write attempt (occurrence *idx*); raises OSError."""
+        if self._plan.for_op("spill", idx) is not None:
+            raise OSError(errno.ENOSPC, "injected ENOSPC (chaos plan)")
         self.spill_dir.mkdir(parents=True, exist_ok=True)
         payload = {
             "colors": result.coloring.colors,
@@ -251,27 +313,45 @@ class ResultCache:
         tmp = path.with_suffix(".npz.tmp")
         with open(tmp, "wb") as fh:
             np.savez(fh, **payload)
+        if self._plan.for_op("spillrot", idx) is not None:
+            # torn write: publish a truncated file so the read path's
+            # quarantine sees exactly what a mid-write crash leaves
+            data = tmp.read_bytes()
+            tmp.write_bytes(data[: max(1, len(data) // 2)])
         tmp.replace(path)  # atomic publish: readers never see partial files
-        self._spills += 1
-        self._rec.count("serve.cache.spills")
 
     def _load_spilled(self, key: str) -> RunResult | None:
         path = self._spill_path(key)
         if path is None or not path.exists():
             return None
-        with np.load(path, allow_pickle=False) as npz:
-            config = RunConfig.from_dict(json.loads(str(npz["config"])))
-            coloring = Coloring(
-                npz["colors"], int(npz["num_colors"]), str(npz["strategy"]),
-                meta={"served_from": "disk"},
-            )
-            initial = None
-            if "initial_colors" in npz:
-                initial = Coloring(
-                    npz["initial_colors"], int(npz["initial_num_colors"]),
-                    str(npz["initial_strategy"]),
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                config = RunConfig.from_dict(json.loads(str(npz["config"])))
+                coloring = Coloring(
+                    npz["colors"], int(npz["num_colors"]), str(npz["strategy"]),
                     meta={"served_from": "disk"},
                 )
+                initial = None
+                if "initial_colors" in npz:
+                    initial = Coloring(
+                        npz["initial_colors"], int(npz["initial_num_colors"]),
+                        str(npz["initial_strategy"]),
+                        meta={"served_from": "disk"},
+                    )
+        except Exception as exc:  # noqa: BLE001 - any unreadable file is rot
+            # truncated/corrupt spill: quarantine (rename, keep for
+            # forensics) so the next get misses cleanly and recomputes
+            # instead of crashing the scheduler thread on every lookup
+            with self._lock:
+                self._spill_corrupt += 1
+            self._rec.count("serve.cache.spill_corrupt")
+            self._rec.event("serve_cache_spill_corrupt",
+                            key=key, error=str(exc))
+            try:
+                path.rename(path.with_name(path.name + ".corrupt"))
+            except OSError:  # pragma: no cover - raced external delete
+                pass
+            return None
         return RunResult(
             config=config, coloring=coloring, initial=initial,
             balance=balance_report(coloring), trace=None, machine_time=None,

@@ -44,7 +44,7 @@ from ..graph.csr import CSRGraph
 from ..obs import as_recorder
 from ..run.config import RunConfig, RunResult
 from .fingerprint import job_key
-from .store import JOB_STATES, JobStore, MemoryStore
+from .store import JOB_STATES, JobStore, MemoryStore, StoreError
 
 __all__ = ["AdmissionError", "DEFAULT_MAX_PENDING", "JOB_STATES", "Job",
            "PRIORITIES", "SubmissionQueue"]
@@ -94,6 +94,9 @@ class Job:
     priority: str = "normal"
     submitted_at: float = 0.0
     finished_at: float | None = None
+    #: Wall-clock budget from submission, in milliseconds; ``None`` means
+    #: no deadline.  Expired jobs fail fast with ``reason="deadline"``.
+    deadline_ms: float | None = None
     meta: dict = field(default_factory=dict)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False, compare=False)
@@ -101,6 +104,20 @@ class Job:
     @property
     def finished(self) -> bool:
         return self.status in ("done", "failed")
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Absolute expiry time (epoch seconds), or ``None``."""
+        if self.deadline_ms is None:
+            return None
+        return self.submitted_at + self.deadline_ms / 1e3
+
+    def expired(self, now: float | None = None) -> bool:
+        """True when the deadline passed and the job is not yet terminal."""
+        at = self.deadline_at
+        if at is None or self.finished:
+            return False
+        return (time.time() if now is None else now) >= at
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job is terminal; True when it finished in time."""
@@ -119,6 +136,10 @@ class Job:
         }
         if self.tenant is not None:
             info["tenant"] = self.tenant
+        if self.deadline_ms is not None:
+            info["deadline_ms"] = self.deadline_ms
+        if self.meta.get("reason") is not None:
+            info["reason"] = self.meta["reason"]
         if self.error is not None:
             info["error"] = self.error
         if self.result is not None:
@@ -177,12 +198,15 @@ class SubmissionQueue:
         self._rejected_full = 0
         self._rejected_invalid = 0
         self._rejected_quota = 0
+        self._deadline_expired = 0
+        self._store_errors = 0
 
     # ------------------------------------------------------------------
     def submit(self, graph: CSRGraph, config: RunConfig, *,
                key: str | None = None, initial: Coloring | None = None,
                tenant: str | None = None, priority: str = "normal",
-               meta: dict | None = None) -> Job:
+               meta: dict | None = None,
+               deadline_ms: float | None = None) -> Job:
         """Admit one job or raise :class:`AdmissionError` with a reason.
 
         Validation happens before the key is computed so malformed
@@ -195,7 +219,9 @@ class SubmissionQueue:
         — and *initial* is a precomputed coloring forwarded to
         ``execute`` (the carried-forward base for mutation jobs).  *meta*
         seeds the job's bookkeeping dict and is persisted with the store
-        row, so recovery sees it too.
+        row, so recovery sees it too.  *deadline_ms* is a wall-clock
+        budget from submission: once it elapses, the job is failed fast
+        with ``reason="deadline"`` instead of occupying a worker.
         """
         reason = self._validate(graph, config)
         if reason is None and initial is not None:
@@ -205,6 +231,14 @@ class SubmissionQueue:
         if reason is None and priority not in PRIORITIES:
             reason = (f"priority must be one of {list(PRIORITIES)}, "
                       f"got {priority!r}")
+        if reason is None and deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                reason = f"deadline_ms must be a number, got {deadline_ms!r}"
+            else:
+                if deadline_ms <= 0:
+                    reason = f"deadline_ms must be > 0, got {deadline_ms}"
         if reason is not None:
             with self._lock:
                 self._rejected += 1
@@ -233,13 +267,19 @@ class SubmissionQueue:
                     f"(limit {self.tenant_quota}); retry later"
                 )
             now = time.time()
+            stored_meta = dict(meta or {})
+            if deadline_ms is not None:
+                # persisted so restart recovery re-admits with the same
+                # budget (measured from the original submission time)
+                stored_meta["deadline_ms"] = deadline_ms
             job_id = self.store.allocate(
                 key=key, config=config.to_dict(),
                 graph_ref=self.store.persist_graph(graph), tenant=tenant,
-                priority=priority, meta=meta, submitted_at=now)
+                priority=priority, meta=stored_meta, submitted_at=now)
             job = Job(id=job_id, key=key, graph=graph, config=config,
                       initial=initial, tenant=tenant, priority=priority,
-                      submitted_at=now, meta=dict(meta or {}))
+                      submitted_at=now, deadline_ms=deadline_ms,
+                      meta=stored_meta)
             self._enqueue_locked(job)
             self._submitted += 1
             return job
@@ -259,7 +299,7 @@ class SubmissionQueue:
         jobs — and moves the store row back to ``pending``, which is also
         legal from ``pending`` itself (a job that never got dispatched).
         """
-        self.store.transition(job.id, "pending")
+        self._safe_transition(job.id, "pending")
         job.status = "pending"
         with self._lock:
             self._enqueue_locked(job)
@@ -311,9 +351,30 @@ class SubmissionQueue:
                     batch.append(pending.popleft())
         return batch
 
+    def _safe_transition(self, job_id: int, status: str, **kwargs) -> bool:
+        """Write a store transition, swallowing store/IO failures.
+
+        In-memory state is the source of truth for a *live* service; a
+        store write that fails (full disk, locked database, injected
+        ``storeerr`` chaos) must not take the scheduler down or wedge a
+        job — it costs durability for that one row, which is counted
+        under ``store_errors`` and surfaced through ``/healthz`` as a
+        degraded signal.  Returns True when the write landed.
+        """
+        try:
+            self.store.transition(job_id, status, **kwargs)
+            return True
+        except (StoreError, OSError) as exc:
+            with self._lock:
+                self._store_errors += 1
+            self._rec.count("serve.queue.store_errors")
+            self._rec.event("serve_store_error", job=job_id,
+                            status=status, error=str(exc))
+            return False
+
     def mark_running(self, job: Job) -> None:
         """Record the dispatch of a primary job (store transition included)."""
-        self.store.transition(job.id, "running")
+        self._safe_transition(job.id, "running")
         job.status = "running"
 
     def mark_terminal(self, job: Job) -> None:
@@ -329,6 +390,10 @@ class SubmissionQueue:
                 f"job {job.id} is {job.status!r}, not terminal; "
                 "set status to 'done' or 'failed' first"
             )
+        if job.finished_at is not None:
+            # already released: a second terminal mark (racing expiry vs.
+            # publish) must not double-decrement the in-flight counters
+            raise ValueError(f"job {job.id} was already marked terminal")
         job.finished_at = time.time()
         finish_meta: dict = {}
         if job.result is not None:
@@ -337,7 +402,7 @@ class SubmissionQueue:
                 "num_vertices": int(job.result.coloring.num_vertices),
                 "rsd_percent": float(job.result.balance.rsd_percent),
             }
-        self.store.transition(job.id, job.status, source=job.source,
+        self._safe_transition(job.id, job.status, source=job.source,
                               error=job.error, meta=finish_meta,
                               finished_at=job.finished_at)
         with self._lock:
@@ -356,6 +421,49 @@ class SubmissionQueue:
                             latency_s=job.finished_at - job.submitted_at
                             if job.submitted_at else None)
         job._done.set()
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+    def fail_deadline(self, job: Job) -> None:
+        """Fail *job* fast because its wall-clock budget elapsed."""
+        job.status = "failed"
+        job.source = "deadline"
+        job.error = (f"deadline: exceeded {job.deadline_ms:g}ms budget"
+                     if job.deadline_ms is not None else "deadline: expired")
+        job.meta["reason"] = "deadline"
+        with self._lock:
+            self._deadline_expired += 1
+        self._rec.count("serve.queue.deadline_expired")
+        self._rec.event("serve_job_deadline", job=job.id,
+                        deadline_ms=job.deadline_ms)
+        self.mark_terminal(job)
+
+    def expire_deadlines(self, now: float | None = None) -> int:
+        """Fail every still-queued job whose deadline has passed.
+
+        Only *pending* jobs are swept here — a job already handed to the
+        scheduler is that round's responsibility (it checks before
+        dispatch).  Returns how many jobs were expired.  Called by the
+        supervisor tick and by the scheduler at round start, so expired
+        jobs fail fast even when no worker ever becomes free for them.
+        """
+        now = time.time() if now is None else now
+        expired: list[Job] = []
+        with self._lock:
+            for priority in PRIORITIES:
+                keep: deque[Job] = deque()
+                for job in self._pending[priority]:
+                    (expired if job.expired(now) else keep).append(job)
+                self._pending[priority] = keep
+        for job in expired:
+            self.fail_deadline(job)
+        return len(expired)
+
+    def jobs_in_flight(self) -> list[Job]:
+        """Every admitted job not yet terminal (pending *and* dispatched)."""
+        with self._lock:
+            return [j for j in self._jobs.values() if not j.finished]
 
     # ------------------------------------------------------------------
     def job(self, job_id: int) -> Job | None:
@@ -401,5 +509,7 @@ class SubmissionQueue:
                 "rejections_full": self._rejected_full,
                 "rejections_invalid": self._rejected_invalid,
                 "rejections_quota": self._rejected_quota,
+                "deadline_expired": self._deadline_expired,
+                "store_errors": self._store_errors,
                 "latency": latency,
             }

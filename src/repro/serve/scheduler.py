@@ -35,6 +35,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..obs import as_recorder
+from ..shm.pool import PoolUnavailableError
 from .backends import ExecutionBackend, InlineBackend
 from .cache import ResultCache
 from .queue import Job, SubmissionQueue
@@ -58,22 +59,31 @@ class BatchScheduler:
     backend:
         The :class:`~repro.serve.backends.ExecutionBackend` primaries run
         on (default: a fresh :class:`~repro.serve.backends.InlineBackend`).
+    job_retries:
+        How many times a job interrupted by *infrastructure* failure
+        (the warm pool dying mid-dispatch — :class:`PoolUnavailableError`)
+        is re-admitted through the ``running → pending`` edge before the
+        failure is surfaced.  Algorithmic failures never retry.
     recorder:
         Observability sink for the ``serve.scheduler.*`` counters.
     """
 
     def __init__(self, queue: SubmissionQueue, cache: ResultCache, *,
                  workers: int = 1, batch_size: int | None = None,
-                 backend: ExecutionBackend | None = None, recorder=None):
+                 backend: ExecutionBackend | None = None,
+                 job_retries: int = 0, recorder=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if job_retries < 0:
+            raise ValueError(f"job_retries must be >= 0, got {job_retries}")
         self.queue = queue
         self.cache = cache
         self.backend = backend if backend is not None else InlineBackend()
         self.workers = int(workers)
         self.batch_size = batch_size
+        self.job_retries = int(job_retries)
         self._rec = as_recorder(recorder)
         self._lock = threading.RLock()
         self._rounds = 0
@@ -82,6 +92,8 @@ class BatchScheduler:
         self._dedup_hits = 0
         self._failures = 0
         self._resolved = 0
+        self._readmitted = 0
+        self._deadline_failed = 0
 
     # ------------------------------------------------------------------
     def run_round(self) -> int:
@@ -93,9 +105,20 @@ class BatchScheduler:
             self._rounds += 1
         self._rec.count("serve.scheduler.rounds")
 
+        # 0. deadlines: a job whose budget elapsed while queued fails
+        # fast here, before it can occupy a cache probe or a worker
+        live: list[Job] = []
+        for job in batch:
+            if job.expired():
+                with self._lock:
+                    self._deadline_failed += 1
+                self.queue.fail_deadline(job)
+            else:
+                live.append(job)
+
         # 1. cache lookup (memory, then disk spill)
         misses: list[Job] = []
-        for job in batch:
+        for job in live:
             cached = self.cache.get(job.key)
             if cached is not None:
                 self._finish(job, source="cache", result=cached)
@@ -120,11 +143,23 @@ class BatchScheduler:
         for (mode, _threads), group in groups.items():
             width = 1 if mode == "mp" else min(self.workers, len(group))
             for job, outcome in zip(group, self._dispatch(group, width)):
-                result, error = outcome
-                with self._lock:
-                    self._executed += 1
-                self._rec.count("serve.scheduler.executed")
+                result, error, kind = outcome
                 kin = [job] + followers.get(job.key, [])
+                if kind == "retryable":
+                    # infrastructure died under the job (pool terminated
+                    # mid-dispatch): re-admit through running → pending
+                    # instead of failing work that never really ran
+                    retries = int(job.meta.get("retries", 0))
+                    if retries < self.job_retries:
+                        job.meta["retries"] = retries + 1
+                        with self._lock:
+                            self._readmitted += len(kin)
+                        self._rec.count("serve.scheduler.readmitted")
+                        self._rec.event("serve_job_readmitted", job=job.id,
+                                        retry=retries + 1, error=error)
+                        for j in kin:
+                            self.queue.readmit(j)
+                        continue
                 if error is not None:
                     for j in kin:
                         self._finish(j, source="computed" if j is job else "dedup",
@@ -132,7 +167,8 @@ class BatchScheduler:
                 else:
                     # 5. publish before resolving so a concurrent round
                     # observing "done" also observes the cache entry
-                    self.cache.put(job.key, result)
+                    if not job.meta.get("no_cache"):
+                        self.cache.put(job.key, result)
                     for j in kin:
                         self._finish(j, source="computed" if j is job else "dedup",
                                      result=result)
@@ -153,18 +189,25 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def _dispatch(self, group: list[Job], width: int) -> list[tuple]:
-        """Run one group's jobs; returns (result, error) per job, in order."""
+        """Run one group's jobs; (result, error, kind) per job, in order."""
         if width == 1 or len(group) == 1:
             return [self._run_one(job) for job in group]
         with ThreadPoolExecutor(max_workers=width) as pool:
             return list(pool.map(self._run_one, group))
 
     def _run_one(self, job: Job) -> tuple:
+        """Execute one primary; *kind* is ``ok``/``error``/``retryable``."""
         self.queue.mark_running(job)
+        with self._lock:
+            self._executed += 1
+        self._rec.count("serve.scheduler.executed")
         try:
-            return self.backend.run(job), None
+            return self.backend.run(job), None, "ok"
+        except PoolUnavailableError as exc:
+            # not the job's fault: the shared pool died under it
+            return None, f"{type(exc).__name__}: {exc}", "retryable"
         except Exception as exc:  # noqa: BLE001 - a bad job must not kill the service
-            return None, f"{type(exc).__name__}: {exc}"
+            return None, f"{type(exc).__name__}: {exc}", "error"
 
     def _finish(self, job: Job, *, source: str, result=None, error=None) -> None:
         job.source = source
@@ -200,6 +243,9 @@ class BatchScheduler:
                 "cache_hits": self._cache_hits,
                 "dedup_hits": self._dedup_hits,
                 "failures": self._failures,
+                "readmitted": self._readmitted,
+                "deadline_failed": self._deadline_failed,
+                "job_retries": self.job_retries,
                 "workers": self.workers,
                 **self.backend.stats(),
             }

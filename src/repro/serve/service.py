@@ -46,6 +46,7 @@ import threading
 from ..graph.csr import CSRGraph
 from ..graph.delta import MutationBatch, apply_delta
 from ..obs import as_recorder
+from ..resilience import resolve_fault_plan
 from ..run.config import RunConfig
 from ..run.mutate import mutation_config
 from .backends import resolve_backend
@@ -53,7 +54,8 @@ from .cache import DEFAULT_MAX_BYTES, ResultCache
 from .fingerprint import mutation_job_key
 from .queue import DEFAULT_MAX_PENDING, Job, SubmissionQueue
 from .scheduler import BatchScheduler
-from .store import JobStore, SqliteStore, StoreError, open_store
+from .store import ChaosStore, JobStore, SqliteStore, StoreError, open_store
+from .supervisor import DegradingBackend, Supervisor
 
 __all__ = ["ColoringService", "MutationError"]
 
@@ -86,6 +88,16 @@ class ColoringService:
     persistent store's interrupted jobs at construction.  *recorder* is
     shared by every component, so one observability sink sees the whole
     ``serve.*`` counter family.
+
+    Robustness knobs: *supervise* wraps the backend in the
+    :class:`~repro.serve.supervisor.DegradingBackend` ladder, attaches a
+    background :class:`~repro.serve.supervisor.Supervisor` (started with
+    the pump), and enables one infrastructure retry per job.
+    *fault_plan* is the chaos schedule (a
+    :class:`~repro.resilience.FaultPlan` or spec string) whose
+    process/IO kinds are injected into the cache's spill writes, the
+    store's transitions, and the supervisor's ticks.  *job_retries*
+    overrides how often a pool-death-interrupted job is re-admitted.
     """
 
     def __init__(self, *, max_pending: int = DEFAULT_MAX_PENDING,
@@ -93,26 +105,45 @@ class ColoringService:
                  spill_dir=None, workers: int = 1,
                  batch_size: int | None = None, recorder=None,
                  store=None, backend=None, tenant_quota: int | None = None,
-                 recover: bool = True):
+                 recover: bool = True, supervise: bool = False,
+                 fault_plan=None, job_retries: int | None = None,
+                 supervisor_interval: float = 0.5):
         self.recorder = as_recorder(recorder)
+        self.fault_plan = resolve_fault_plan(fault_plan)
         self._owns_store = not isinstance(store, JobStore)
         self.store = open_store(store)
         if spill_dir is None and isinstance(self.store, SqliteStore):
             spill_dir = self.store.spill_dir
+        if any(f.kind == "storeerr" for f in self.fault_plan.faults):
+            # wrap after the spill_dir probe above: chaos must not hide
+            # the concrete store's layout, only fail its transitions
+            self.store = ChaosStore(self.store, self.fault_plan)
         self.cache = ResultCache(
             max_bytes=max_bytes, spill_dir=spill_dir,
             write_through=self.store.persistent and spill_dir is not None,
-            recorder=self.recorder)
+            recorder=self.recorder, fault_plan=self.fault_plan)
         self.queue = SubmissionQueue(max_pending=max_pending,
                                      store=self.store,
                                      tenant_quota=tenant_quota,
                                      recorder=self.recorder)
         self.backend = resolve_backend(backend, recorder=self.recorder)
+        if supervise:
+            self.backend = DegradingBackend.ladder(self.backend,
+                                                   recorder=self.recorder)
+        if job_retries is None:
+            job_retries = 1 if supervise else 0
         self.scheduler = BatchScheduler(self.queue, self.cache,
                                         workers=workers, batch_size=batch_size,
                                         backend=self.backend,
+                                        job_retries=job_retries,
                                         recorder=self.recorder)
+        self.supervisor = (Supervisor(self, interval=supervisor_interval,
+                                      plan=self.fault_plan,
+                                      recorder=self.recorder)
+                           if supervise else None)
         self._pump: threading.Thread | None = None
+        self._pump_wanted = False
+        self._pump_errors = 0
         self._wake = threading.Event()
         self._stopping = threading.Event()
         self.recovered = {"requeued": 0, "failed": 0, "terminal": 0}
@@ -140,9 +171,12 @@ class ColoringService:
         for row in self.store.by_status("pending", "running"):
             job, reason = self._restore_pending(row)
             if job is None:
-                self.store.transition(row["id"], "failed", source="recovery",
-                                      error=f"unrecoverable after restart: "
-                                            f"{reason}")
+                try:
+                    self.store.transition(
+                        row["id"], "failed", source="recovery",
+                        error=f"unrecoverable after restart: {reason}")
+                except (StoreError, OSError):
+                    pass  # even the quarantine write is best-effort
                 summary["failed"] += 1
             else:
                 self.queue.readmit(job)
@@ -154,9 +188,13 @@ class ColoringService:
     def _restore_pending(self, row: dict):
         """Rebuild a re-runnable Job from a store row; (job, None) or
         (None, reason)."""
+        if not isinstance(row.get("config"), dict):
+            # a poisoned sqlite row (see SqliteStore._record): quarantine
+            # by failing it with the reason, never crash recovery
+            return None, "store row is corrupt (config unparseable)"
         try:
             config = RunConfig.from_dict(row["config"])
-        except ValueError as exc:
+        except (ValueError, TypeError, KeyError) as exc:
             return None, f"config does not parse: {exc}"
         if not row["graph_ref"]:
             return None, "graph was not persisted"
@@ -176,6 +214,7 @@ class ColoringService:
                    initial=initial, tenant=row["tenant"],
                    priority=row["priority"] or "normal",
                    submitted_at=row["submitted_at"] or 0.0,
+                   deadline_ms=row["meta"].get("deadline_ms"),
                    meta=dict(row["meta"])), None
 
     def _restore_terminal(self, row: dict) -> Job:
@@ -190,8 +229,15 @@ class ColoringService:
         meta = dict(row["meta"])
         if row["source"]:
             meta["original_source"] = row["source"]
+        try:
+            config = RunConfig.from_dict(row["config"])
+        except Exception:  # noqa: BLE001 - row poisoned on disk
+            # the job's verdict (status/error) is still worth serving;
+            # stand in a placeholder config and say so in the meta
+            config = RunConfig("greedy-ff")
+            meta["corrupt"] = True
         return Job(id=row["id"], key=row["key"], graph=None,
-                   config=RunConfig.from_dict(row["config"]),
+                   config=config,
                    status=row["status"], source="store", result=result,
                    error=row["error"], tenant=row["tenant"],
                    priority=row["priority"] or "normal",
@@ -202,18 +248,21 @@ class ColoringService:
     # the four verbs (submit / result / stats / healthz)
     # ------------------------------------------------------------------
     def submit(self, graph: CSRGraph, config: RunConfig, *,
-               tenant: str | None = None, priority: str = "normal") -> Job:
+               tenant: str | None = None, priority: str = "normal",
+               deadline_ms: float | None = None) -> Job:
         """Admit one job (raises :class:`~repro.serve.queue.AdmissionError`
-        with a reason on rejection) and wake the pump if one is running."""
+        with a reason on rejection) and wake the pump if one is running.
+        *deadline_ms* bounds the job's wall-clock life from submission."""
         job = self.queue.submit(graph, config, tenant=tenant,
-                                priority=priority)
+                                priority=priority, deadline_ms=deadline_ms)
         self._wake.set()
         return job
 
     def mutate(self, base_job_id: int, batch: MutationBatch, *,
                staleness_budget: float | None = 0.05,
                mode: str = "sequential", threads: int = 1,
-               tenant: str | None = None, priority: str = "normal") -> Job:
+               tenant: str | None = None, priority: str = "normal",
+               deadline_ms: float | None = None) -> Job:
         """Admit an incremental re-color of a finished job's mutated graph.
 
         The base job must be ``done``: its graph is the mutation target
@@ -266,7 +315,8 @@ class ColoringService:
                 "initial_from_key": base.key}
         job = self.queue.submit(mutated, config, key=key,
                                 initial=base.result.coloring, meta=meta,
-                                tenant=tenant, priority=priority)
+                                tenant=tenant, priority=priority,
+                                deadline_ms=deadline_ms)
         if self.recorder.enabled:
             self.recorder.event("serve_mutate", base_job=base_job_id,
                                 job=job.id, dirty=int(dirty.size),
@@ -290,7 +340,10 @@ class ColoringService:
         row = self.store.get(job_id)
         if row is None or row["status"] not in ("done", "failed"):
             return None
-        job = self._restore_terminal(row)
+        try:
+            job = self._restore_terminal(row)
+        except Exception:  # noqa: BLE001 - a poisoned row is a 404, not a 500
+            return None
         self.queue.remember(job)
         return job
 
@@ -302,13 +355,17 @@ class ColoringService:
 
         store_info = self.store.describe()
         store_info["recovered"] = dict(self.recovered)
-        return {
+        out = {
             "queue": self.queue.stats(),
             "scheduler": self.scheduler.stats(),
             "cache": self.cache.stats(),
             "store": store_info,
             "pool": warm_pool().stats(),
+            "pump_errors": self._pump_errors,
         }
+        if self.supervisor is not None:
+            out["supervisor"] = self.supervisor.stats()
+        return out
 
     def prewarm(self, workers: int) -> bool:
         """Spin the process-wide warm worker pool up front; True on reuse.
@@ -330,14 +387,45 @@ class ColoringService:
         return reused
 
     def healthz(self) -> dict:
-        """Liveness summary for load balancers: status + backlog."""
+        """Health summary for load balancers: three-state status + backlog.
+
+        ``status`` is ``"live"`` (process up, pump not running — e.g.
+        a synchronously-driven service), ``"ready"`` (pump running,
+        nothing degraded), or ``"degraded"`` (serving, but something is
+        limping: the cache fell back to memory-only, a ladder rung's
+        breaker is open, or store writes have been failing).
+        ``degraded_reasons`` names each cause; ``live`` is always True
+        when this answered at all.
+        """
         q = self.queue.stats()
+        reasons: list[str] = []
+        if self.cache.degraded:
+            reasons.append("cache: spill disabled after repeated "
+                           "write failures (memory-only)")
+        if isinstance(self.backend, DegradingBackend) and self.backend.degraded:
+            open_rungs = [b.name for b in self.backend.breakers
+                          if b.state != "closed"]
+            reasons.append(f"backend: breaker open for {open_rungs}")
+        if q["store_errors"]:
+            reasons.append(f"store: {q['store_errors']} failed transitions "
+                           "(durability is best-effort)")
+        pump = self.pump_alive
+        if reasons:
+            status = "degraded"
+        elif pump:
+            status = "ready"
+        else:
+            status = "live"
         return {
-            "status": "ok",
+            "status": status,
+            "live": True,
+            "ready": pump and not reasons,
+            "degraded": bool(reasons),
+            "degraded_reasons": reasons,
             "pending": q["pending"],
             "in_flight": q["in_flight"],
             "durable": self.store.persistent,
-            "pump": self._pump is not None and self._pump.is_alive(),
+            "pump": pump,
         }
 
     # ------------------------------------------------------------------
@@ -375,17 +463,36 @@ class ColoringService:
     # ------------------------------------------------------------------
     # background pump (the HTTP server's scheduling thread)
     # ------------------------------------------------------------------
+    @property
+    def pump_alive(self) -> bool:
+        """Whether the background pump thread is currently running."""
+        pump = self._pump
+        return pump is not None and pump.is_alive()
+
     def start(self) -> None:
-        """Start the background pump thread (idempotent)."""
-        if self._pump is not None and self._pump.is_alive():
+        """Start the background pump thread (idempotent).
+
+        On a supervised service the :class:`Supervisor` starts here too;
+        from then on a pump that dies is restarted by the next tick.
+        """
+        self._pump_wanted = True
+        if self.supervisor is not None:
+            self.supervisor.start()
+        if self.pump_alive:
             return
         self._stopping.clear()
         self._pump = threading.Thread(target=self._pump_loop,
                                       name="repro-serve-pump", daemon=True)
         self._pump.start()
 
-    def stop(self, timeout: float = 5.0, *, purge_spill: bool = False) -> None:
+    def stop(self, timeout: float = 5.0, *, purge_spill: bool = False) -> dict:
         """Signal the pump to exit after the current round and join it.
+
+        Jobs still in flight are not silently dropped: they are counted,
+        and on a durable store every dispatched-but-unfinished job's row
+        is moved back to ``pending`` with ``meta["interrupted"]`` set, so
+        the next life's recovery re-admits exactly what this shutdown
+        interrupted.  Returns ``{"interrupted": n, "pump_joined": bool}``.
 
         ``purge_spill=True`` additionally clears the cache *including*
         its on-disk spill files — shutdown-means-gone for ephemeral
@@ -394,19 +501,51 @@ class ColoringService:
         opened itself (from a path) is closed here; an injected store
         instance stays open, its owner decides.
         """
+        self._pump_wanted = False
+        if self.supervisor is not None:
+            self.supervisor.stop(timeout)
         self._stopping.set()
         self._wake.set()
+        joined = True
         if self._pump is not None:
             self._pump.join(timeout)
+            joined = not self._pump.is_alive()
             self._pump = None
+        interrupted = self.queue.jobs_in_flight()
+        if interrupted:
+            if self.store.persistent:
+                for job in interrupted:
+                    if job.status != "running":
+                        continue  # pending rows already recover as-is
+                    try:
+                        self.store.transition(job.id, "pending",
+                                              meta={"interrupted": True})
+                    except (StoreError, OSError):
+                        pass  # best-effort: recovery handles running too
+            self.recorder.event("serve_stop_interrupted",
+                                count=len(interrupted),
+                                jobs=[j.id for j in interrupted],
+                                pump_joined=joined)
         if purge_spill:
             self.cache.clear(purge_spill=True)
         if self._owns_store:
             self.store.close()
+        return {"interrupted": len(interrupted), "pump_joined": joined}
 
     def _pump_loop(self) -> None:
         while not self._stopping.is_set():
-            if self.scheduler.run_round() == 0:
+            try:
+                busy = self.scheduler.run_round() > 0
+            except Exception as exc:  # noqa: BLE001 - the pump must survive
+                # a round that blows up (chaos, backend bug) costs that
+                # batch's jobs nothing durable — they are still in the
+                # store — but the pump itself must keep draining
+                self._pump_errors += 1
+                self.recorder.event(
+                    "serve_pump_error",
+                    error=f"{type(exc).__name__}: {exc}")
+                busy = False
+            if not busy:
                 # nothing queued: sleep until a submit wakes us
                 self._wake.wait(timeout=0.05)
                 self._wake.clear()

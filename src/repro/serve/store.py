@@ -43,8 +43,8 @@ from pathlib import Path
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["JOB_STATES", "JobStore", "MemoryStore", "SqliteStore",
-           "StoreError", "open_store"]
+__all__ = ["JOB_STATES", "ChaosStore", "JobStore", "MemoryStore",
+           "SqliteStore", "StoreError", "open_store"]
 
 #: Lifecycle states a job moves through (strictly forward, except the
 #: recovery edge running → pending).
@@ -297,7 +297,10 @@ class SqliteStore(JobStore):
                 sets.append("error = ?")
                 args.append(error)
             if meta:
-                merged = json.loads(row["meta"])
+                try:
+                    merged = json.loads(row["meta"])
+                except (json.JSONDecodeError, TypeError):
+                    merged = {}  # poisoned meta: start fresh, keep moving
                 merged.update(meta)
                 sets.append("meta = ?")
                 args.append(json.dumps(merged, sort_keys=True))
@@ -323,8 +326,20 @@ class SqliteStore(JobStore):
     @staticmethod
     def _record(row) -> dict:
         rec = {name: row[name] for name in _COLUMNS}
-        rec["config"] = json.loads(rec["config"])
-        rec["meta"] = json.loads(rec["meta"])
+        # A poisoned row (bit rot, external tampering, partial write from
+        # a pre-WAL copy) must not crash readers — recovery in particular
+        # walks every pending/running row.  Unparseable JSON degrades to
+        # config=None + corrupt=True so callers can quarantine the job.
+        try:
+            rec["config"] = json.loads(rec["config"])
+        except (json.JSONDecodeError, TypeError):
+            rec["config"] = None
+            rec["corrupt"] = True
+        try:
+            rec["meta"] = json.loads(rec["meta"])
+        except (json.JSONDecodeError, TypeError):
+            rec["meta"] = {}
+            rec["corrupt"] = True
         return rec
 
     def get(self, job_id):
@@ -389,6 +404,76 @@ class SqliteStore(JobStore):
     def close(self) -> None:
         with self._lock:
             self._conn.close()
+
+
+class ChaosStore(JobStore):
+    """Fault-injecting delegate around any :class:`JobStore`.
+
+    Consults a :class:`~repro.resilience.FaultPlan` on every
+    :meth:`transition`: when the plan's ``storeerr`` spec covers the
+    current 0-based transition index, the call raises
+    :class:`StoreError` *instead of* touching the inner store —
+    modelling a wedged disk or a locked database at exactly that write.
+    Everything else delegates untouched, so the wrapped store's
+    semantics (ids, CAS transitions, recovery rows) are preserved and
+    the chaos soak can assert the serving layers survive best-effort
+    durability.
+    """
+
+    def __init__(self, inner: JobStore, plan) -> None:
+        self.inner = inner
+        self._plan = plan
+        self._transitions = 0
+        self._injected = 0
+        self._lock = threading.Lock()
+
+    @property
+    def persistent(self) -> bool:  # type: ignore[override]
+        return self.inner.persistent
+
+    @property
+    def injected(self) -> int:
+        """How many transitions were failed by the plan so far."""
+        with self._lock:
+            return self._injected
+
+    def allocate(self, **kwargs) -> int:
+        return self.inner.allocate(**kwargs)
+
+    def transition(self, job_id, status, **kwargs) -> None:
+        with self._lock:
+            idx, self._transitions = self._transitions, self._transitions + 1
+            spec = self._plan.for_op("storeerr", idx)
+            if spec is not None:
+                self._injected += 1
+        if spec is not None:
+            raise StoreError(
+                f"injected store failure (chaos plan, transition #{idx})")
+        self.inner.transition(job_id, status, **kwargs)
+
+    def get(self, job_id):
+        return self.inner.get(job_id)
+
+    def by_status(self, *statuses):
+        return self.inner.by_status(*statuses)
+
+    def counts(self):
+        return self.inner.counts()
+
+    def persist_graph(self, graph):
+        return self.inner.persist_graph(graph)
+
+    def load_graph(self, ref):
+        return self.inner.load_graph(ref)
+
+    def describe(self):
+        info = self.inner.describe()
+        info["chaos"] = {"transitions": self._transitions,
+                         "injected": self._injected}
+        return info
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 def open_store(store) -> JobStore:

@@ -11,7 +11,13 @@ segment lifecycle, and ``benchmarks/bench_shm.py`` for the measured
 pickling tax before/after.
 """
 
-from .pool import WarmPool, pick_context, shutdown_warm_pool, warm_pool
+from .pool import (
+    PoolUnavailableError,
+    WarmPool,
+    pick_context,
+    shutdown_warm_pool,
+    warm_pool,
+)
 from .segments import (
     SharedColors,
     SharedGraph,
@@ -21,6 +27,7 @@ from .segments import (
 )
 
 __all__ = [
+    "PoolUnavailableError",
     "SharedColors",
     "SharedGraph",
     "WarmPool",

@@ -33,15 +33,64 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import multiprocessing.pool as mp_pool
 import os
 import threading
 
 __all__ = [
+    "PoolUnavailableError",
     "WarmPool",
     "pick_context",
     "shutdown_warm_pool",
     "warm_pool",
 ]
+
+#: ``multiprocessing.Pool``'s internal "accepting tasks" state marker.
+_POOL_RUN = getattr(mp_pool, "RUN", "RUN")
+
+
+class PoolUnavailableError(RuntimeError):
+    """The warm pool cannot accept tasks right now (not ensured, or its
+    inner pool was closed/terminated mid-flight).  The serving scheduler
+    treats this as *retryable*: the job is re-admitted through the
+    ``running → pending`` recovery edge instead of failing, and the next
+    ``ensure`` (or a supervisor respawn) rebuilds the pool."""
+
+
+def _pool_ping() -> int:
+    """No-op heartbeat task: round-trips the worker's pid."""
+    return os.getpid()
+
+
+def _reap(pool, timeout: float = 5.0) -> bool:
+    """Terminate *pool* with a bounded wait; True once fully joined.
+
+    ``Pool.terminate`` can block forever on a pool whose worker was
+    SIGKILLed mid-``get``: the dead worker held the shared task-queue
+    lock and ``_help_stuff_finish`` waits to acquire it (bpo-22393).
+    A pool being reaped is garbage either way, so its workers are killed
+    directly first (nothing in its queue is worth draining) and the
+    terminate/join runs on a daemon thread with a bounded wait.  If even
+    that wedges, the pool object is abandoned — its handler threads are
+    daemons and die with the process — and the caller records the leak.
+    """
+    for proc in list(getattr(pool, "_pool", None) or []):
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+    done = threading.Event()
+
+    def _terminate() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        finally:
+            done.set()
+
+    threading.Thread(target=_terminate, name="repro-pool-reaper",
+                     daemon=True).start()
+    return done.wait(timeout)
 
 #: Environment override for the start method (``fork`` / ``spawn`` /
 #: ``forkserver``).  Unset picks ``fork`` when available, else ``spawn``.
@@ -79,7 +128,8 @@ class WarmPool:
         self._retired: list = []
         self._lock = threading.RLock()
         self._stats = {"cold_starts": 0, "reused": 0, "jobs": 0,
-                       "grown": 0, "retired": 0}
+                       "grown": 0, "retired": 0, "respawns": 0,
+                       "leaked": 0}
 
     # ------------------------------------------------------------------
     def ensure(self, processes: int, *, context: str | None = None) -> bool:
@@ -95,6 +145,16 @@ class WarmPool:
             raise ValueError(f"processes must be >= 1, got {processes}")
         with self._lock:
             self._stats["jobs"] += 1
+            if self._pool is not None and not self._healthy_locked():
+                # a closed/terminated inner pool can never run tasks
+                # again (chaos, or an external terminate): drop it and
+                # cold-start a replacement instead of handing out a pool
+                # that rejects every submit
+                dead, self._pool = self._pool, None
+                self._processes = 0
+                self._retired.append(dead)
+                self._stats["retired"] += 1
+                self._stats["respawns"] += 1
             if self._pool is not None and processes <= self._processes:
                 self._stats["reused"] += 1
                 return True
@@ -112,11 +172,112 @@ class WarmPool:
             return False
 
     def apply_async(self, fn, args: tuple):
-        """Submit one task; the pool must have been ``ensure``-d first."""
+        """Submit one task; the pool must have been ``ensure``-d first.
+
+        Raises :class:`PoolUnavailableError` when the pool cannot take
+        tasks — never ensured, or its inner pool died between ``ensure``
+        and this submit (mid-flight chaos).  Callers in the serving
+        stack treat that as a retryable condition, not a job failure.
+        """
         with self._lock:
             if self._pool is None:
-                raise RuntimeError("WarmPool.ensure() must run before submit")
-            return self._pool.apply_async(fn, args)
+                raise PoolUnavailableError(
+                    "WarmPool.ensure() must run before submit")
+            try:
+                return self._pool.apply_async(fn, args)
+            except (ValueError, AssertionError) as exc:
+                # mp.Pool raises ValueError("Pool not running") once
+                # closed/terminated (AssertionError on older pythons)
+                raise PoolUnavailableError(
+                    f"warm pool cannot accept tasks: {exc}") from exc
+
+    def _healthy_locked(self) -> bool:
+        """Whether the inner pool still accepts tasks (caller holds lock)."""
+        if self._pool is None:
+            return False
+        return getattr(self._pool, "_state", _POOL_RUN) == _POOL_RUN
+
+    # ------------------------------------------------------------------
+    # supervision surface: heartbeats, liveness, respawn
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> list[int]:
+        """Pids of the current worker processes ([] before first ensure)."""
+        with self._lock:
+            if self._pool is None:
+                return []
+            return [p.pid for p in self._pool._pool]  # noqa: SLF001
+
+    def heartbeat(self) -> dict:
+        """Cheap liveness snapshot: worker pids and which are dead.
+
+        ``multiprocessing.Pool`` replaces a worker that dies mid-task on
+        its own, so a dead pid here is transient — the supervisor uses
+        pid-set changes across heartbeats to *count* worker deaths and
+        :meth:`ping` to decide whether the pool as a whole is wedged.
+        """
+        with self._lock:
+            if self._pool is None:
+                return {"processes": 0, "pids": [], "dead": [],
+                        "healthy": False, "context": self._method}
+            workers = list(self._pool._pool)  # noqa: SLF001
+            return {
+                "processes": self._processes,
+                "pids": [p.pid for p in workers],
+                "dead": [p.pid for p in workers if not p.is_alive()],
+                "healthy": self._healthy_locked(),
+                "context": self._method,
+            }
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Round-trip one no-op task through the pool within *timeout*.
+
+        True means at least one worker is alive and draining the task
+        queue; False means the pool is terminated, wedged, or so far
+        behind that *timeout* elapsed — the supervisor's respawn signal.
+        A pool that was never ensured trivially passes (nothing to probe).
+        """
+        with self._lock:
+            if self._pool is None:
+                return True
+        try:
+            handle = self.apply_async(_pool_ping, ())
+            return bool(handle.get(timeout=timeout))
+        except PoolUnavailableError:
+            return False
+        except mp.TimeoutError:
+            return False
+        except Exception:  # noqa: BLE001 - any transport failure means unhealthy
+            return False
+
+    def respawn(self, processes: int | None = None) -> int:
+        """Replace the worker pool with a fresh one; returns the new width.
+
+        The supervisor's recovery path: a pool being respawned is
+        presumed sick, so the old one is *reaped* — workers killed, then
+        a bounded terminate (``close()`` on a wedged pool would never
+        drain, and a plain ``terminate()`` can block forever on a
+        poisoned task-queue lock) — then a fresh pool of the same width
+        (or *processes*) is built.  In-flight ``AsyncResult`` handles
+        against the old pool time out and retry through the guarded
+        rounds, which submit against the new pool.  A no-op returning 0
+        when no pool was ever ensured.
+        """
+        with self._lock:
+            width = int(processes or self._processes)
+            if width < 1:
+                return 0
+            old, self._pool = self._pool, None
+            if old is not None:
+                if not _reap(old, timeout=2.0):
+                    self._stats["leaked"] += 1
+                self._stats["retired"] += 1
+            ctx = pick_context(self._method)
+            self._method = ctx.get_start_method()
+            self._pool = ctx.Pool(processes=width)
+            self._processes = width
+            self._stats["cold_starts"] += 1
+            self._stats["respawns"] += 1
+            return width
 
     # ------------------------------------------------------------------
     @property
@@ -161,8 +322,8 @@ class WarmPool:
         if pool is not None:
             retired.append(pool)
         for old in retired:
-            old.terminate()
-            old.join()
+            if not _reap(old, timeout=5.0):
+                self._stats["leaked"] += 1
 
     def shutdown(self) -> None:
         """Terminate the workers (idempotent); counters survive."""

@@ -198,3 +198,40 @@ def test_quick_shard_bench_runs_and_passes_baseline_check(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["meta"]["mode"] == "quick"
     assert payload["results"]["shard"]["proper"] is True
+
+
+BENCH_CHAOS = REPO_ROOT / "benchmarks" / "bench_chaos.py"
+BASELINE_CHAOS = REPO_ROOT / "BENCH_chaos.json"
+
+
+def test_chaos_baseline_artifact_shows_clean_soak():
+    """The checked-in chaos artifact must show a real, lossless soak."""
+    payload = json.loads(BASELINE_CHAOS.read_text())
+    rows = payload["results"]
+    assert {r["campaign"] for r in rows} == {
+        "io_chaos", "process_chaos", "crash_restart"}
+    assert sum(r["faults_injected"] for r in rows) >= payload["meta"][
+        "min_faults"]
+    for row in rows:
+        assert row["lost"] == 0
+        assert row["improper"] == 0
+        assert row["reexecuted"] == 0
+        assert row["recovery_rounds"] < payload["meta"]["recovery_round_cap"]
+
+
+@pytest.mark.slow
+def test_quick_chaos_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_chaos_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_CHAOS), "--quick", "--out", str(out),
+         "--check", str(BASELINE_CHAOS)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    assert {r["campaign"] for r in payload["results"]} == {
+        "io_chaos", "process_chaos", "crash_restart"}

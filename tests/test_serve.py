@@ -395,7 +395,8 @@ class TestDispatch:
         status, stats = dispatch(svc, "GET", "/stats")
         assert status == 200 and stats["scheduler"]["executed"] == 1
         status, health = dispatch(svc, "GET", "/healthz")
-        assert status == 200 and health["status"] == "ok"
+        assert status == 200 and health["status"] == "live"
+        assert health["live"] is True and health["degraded"] is False
 
     def test_result_includes_colors_on_request(self):
         svc = ColoringService()
@@ -469,7 +470,7 @@ class TestHTTPServer:
             second = submit_job(base, body)
             done2 = wait_for_result(base, second["job_id"], timeout=60)
             assert done2["source"] == "cache"
-            assert fetch_json(base, "/healthz")["status"] == "ok"
+            assert fetch_json(base, "/healthz")["status"] == "ready"
             assert fetch_json(base, "/stats")["scheduler"]["executed"] == 1
         finally:
             server.shutdown()

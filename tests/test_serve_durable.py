@@ -426,3 +426,65 @@ class TestPoolRetireOnGrow:
             assert pool.processes == 2
         finally:
             pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# poisoned durable state: recovery must quarantine, never crash
+# ----------------------------------------------------------------------
+class TestPoisonedDurableState:
+    def test_corrupt_store_row_quarantined_not_crashing(self, tmp_path,
+                                                        graph):
+        import sqlite3
+
+        root = tmp_path / "st"
+        svc = ColoringService(store=root)
+        bad = svc.submit(graph, RunConfig("vff", seed=0))  # left pending
+        good = svc.submit(graph, RunConfig("vff", seed=1))
+        svc.store.close()
+        con = sqlite3.connect(root / "jobs.sqlite")
+        con.execute("UPDATE jobs SET config = ? WHERE id = ?",
+                    ("{definitely not json", bad.id))
+        con.commit()
+        con.close()
+
+        svc2 = ColoringService(store=root)  # _recover() must not raise
+        assert svc2.recovered["failed"] == 1
+        assert svc2.recovered["requeued"] == 1
+        row = svc2.store.get(bad.id)
+        assert row["corrupt"] is True and row["config"] is None
+        quarantined = svc2.result(bad.id)
+        assert quarantined.status == "failed"
+        assert "unrecoverable after restart" in quarantined.error
+        svc2.process()
+        restored = svc2.result(good.id)  # healthy sibling unharmed
+        assert restored.status == "done"
+        svc2.stop()
+
+    def test_truncated_spill_quarantined_and_recomputed(self, tmp_path,
+                                                        graph,
+                                                        counted_execute):
+        # crash after the write-through spill landed, then the spill file
+        # itself is torn (half-written page, disk corruption): recovery
+        # must quarantine the file and recompute, not die in np.load
+        root = tmp_path / "st"
+        svc = ColoringService(store=root)
+        job = svc.submit(graph, RunConfig("vff", seed=0))
+        svc.queue.mark_running(job)
+        svc.cache.put(job.key, svc.backend.run(job))
+        svc.store.close()
+        spills = list((root / "spill").glob("*.npz"))
+        assert len(spills) == 1
+        blob = spills[0].read_bytes()
+        spills[0].write_bytes(blob[: len(blob) // 2])
+        executed_before = len(counted_execute)
+
+        svc2 = ColoringService(store=root)
+        assert svc2.recovered["requeued"] == 1
+        svc2.process()
+        done = svc2.result(job.id)
+        assert done.status == "done" and done.source == "computed"
+        assert len(counted_execute) == executed_before + 1
+        assert svc2.cache.stats()["spill_corrupt"] == 1
+        assert list((root / "spill").glob("*.npz.corrupt"))
+        assert_proper(graph, done.result.coloring)
+        svc2.stop()

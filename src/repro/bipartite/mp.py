@@ -1,0 +1,372 @@
+"""Process-parallel optimistic partial distance-2 coloring.
+
+The real-worker counterpart of
+:func:`repro.bipartite.optimistic.optimistic_partial_d2`, running the
+same speculate → detect → retry protocol as
+:func:`repro.parallel.mp.mp_greedy_ff` one hop deeper: each round the
+pending rows are block-partitioned across worker processes, every worker
+runs a :func:`repro.kernels.d2_sweep` over its block against a snapshot
+of the row colors, proposals merge in block order, and
+:func:`repro.kernels.d2_conflicts` picks the retry rows.  Process
+boundaries play the racing threads (workers cannot see each other's
+in-round proposals).
+
+The round machinery is imported from :mod:`repro.parallel.mp` rather than
+duplicated — :func:`~repro.parallel.mp._guarded_round` (timeouts, retries
+with backoff, proposal validation), :func:`~repro.parallel.mp.split_blocks`
+and the fault-injection plumbing are all protocol-agnostic.  Both
+transports ride the PR 6 substrate unchanged: the bipartite *incidence*
+graph is an ordinary :class:`~repro.graph.csr.CSRGraph`, so
+:class:`repro.shm.SharedGraph` ships it zero-copy, and the row colors
+(length ``num_rows``) live in a :class:`repro.shm.SharedColors` with the
+usual double-buffered snapshot rows.  Rows are partitioned in id-order
+contiguous blocks — on the tall-skinny generators consecutive rows share
+columns, which is the locality the protocol wants.
+
+As in the distance-1 engine, the two transports run the identical
+protocol on identical inputs, so their colorings are bit-identical for a
+fixed ``num_workers``; failed blocks are salvaged in-process and a
+residual sequential pass after ``max_rounds`` guarantees termination
+with a total, proper partial coloring.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from .. import kernels
+from ..graph.csr import CSRGraph
+from ..obs import as_recorder
+from ..resilience import FaultPlan, resolve_fault_plan
+from ..parallel.mp import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_ROUND_TIMEOUT,
+    _apply_fault,
+    _guarded_round,
+    resolve_transport,
+    split_blocks,
+)
+from .graph import BipartiteGraph
+from .types import PartialD2Coloring
+
+__all__ = ["mp_partial_d2", "replay_partial_rounds"]
+
+# Worker-process global for the legacy transport (see parallel.mp).
+_G_INC: CSRGraph | None = None
+
+
+def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
+    global _G_INC
+    _G_INC = CSRGraph(indptr, indices, validate=False)
+
+
+def _d2_block_task(
+    args: tuple[np.ndarray, np.ndarray, int, str, tuple | None]
+) -> np.ndarray:
+    """Legacy-transport worker task: D2-color one row block vs a snapshot."""
+    block, snapshot, num_rows, backend, fault = args
+    _apply_fault(fault)
+    local = kernels.d2_sweep(_G_INC, num_rows, block, snapshot,
+                             backend=backend)
+    return np.ascontiguousarray(local[block])
+
+
+def _d2_block_shm(
+    args: tuple[tuple, tuple, int, int, int, int, str, tuple | None]
+) -> np.ndarray:
+    """shm-transport worker task: attach segments, slice, D2-color, return."""
+    from ..shm import attach_colors, attach_graph
+
+    gspec, cspec, start, stop, snap_row, num_rows, backend, fault = args
+    _apply_fault(fault)
+    graph = attach_graph(gspec)
+    snapshots, work = attach_colors(cspec)
+    block = work[start:stop]
+    local = kernels.d2_sweep(graph, num_rows, block, snapshots[snap_row],
+                             backend=backend)
+    return np.ascontiguousarray(local[block])
+
+
+def _merge_d2_round(bip, colors, blocks, results, work_list, resolved,
+                    round_idx, rec, stats):
+    """Merge one round's row proposals and detect D2 conflicts.
+
+    Identical for both transports (same blocks, same snapshot semantics,
+    same merge order) — the bit-identical-transports property of the
+    distance-1 engine carries over unchanged.
+    """
+    salvage = []
+    for b, res in zip(blocks, results):
+        if res is None:
+            salvage.append(b)
+        else:
+            colors[b] = res
+    for b in salvage:
+        stats["salvaged"] += 1
+        if rec.enabled:
+            rec.event("mp_salvage", round=round_idx, vertices=int(b.shape[0]))
+        colors[b] = kernels.d2_sweep(bip.incidence, bip.num_rows, b, colors,
+                                     backend=resolved)[b]
+    new_work = kernels.d2_conflicts(bip.incidence, bip.num_rows, colors,
+                                    work_list, backend=resolved)
+    return new_work, int(new_work.shape[0])
+
+
+def mp_partial_d2(
+    bip: BipartiteGraph,
+    *,
+    num_workers: int = 2,
+    max_rounds: int = 100,
+    backend: str | None = None,
+    recorder=None,
+    fault_plan: FaultPlan | str | None = None,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    shm: bool | None = None,
+    context: str | None = None,
+) -> PartialD2Coloring:
+    """Partial D2 coloring computed by *num_workers* OS processes.
+
+    Deterministic for a fixed ``num_workers``, and independent of
+    transport, start method, and pool warmth — the shm and pickle paths
+    run the identical protocol.  With ``num_workers=1`` the sweep runs
+    in-process and the result is bit-identical to
+    :func:`~repro.bipartite.optimistic.partial_d2_sequential`.
+
+    Guarding, fault injection (``fault_plan``), salvage, the residual
+    sequential pass, the meta keys (``workers``/``rounds``/``conflicts``/
+    ``faults``/``degraded``/``residual``/``transport``/``context``/
+    ``bytes_to_workers``/``pool_reused``) and the recorder events
+    (``mp_pool``/``mp_round``/``mp_salvage``/``mp_degraded``/``fault_*``
+    inside a ``d2-mp`` phase) all match
+    :func:`repro.parallel.mp.mp_greedy_ff`.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    if round_timeout <= 0:
+        raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    rec = as_recorder(recorder)
+    plan = resolve_fault_plan(fault_plan)
+    resolved = kernels.resolve_backend(backend)
+    transport = resolve_transport(shm)
+    nr = bip.num_rows
+    colors = np.full(nr, -1, dtype=np.int64)
+    work_list = np.arange(nr, dtype=np.int64)
+    stats = {"injected": 0, "detected": 0, "recovered": 0, "salvaged": 0}
+
+    if num_workers == 1:
+        with rec.phase("d2-mp"):
+            colors = kernels.d2_sweep(bip.incidence, nr, work_list,
+                                      backend=resolved)
+        num_colors = int(colors.max(initial=-1)) + 1
+        if rec.enabled:
+            rec.event("partial_coloring", strategy="d2-mp", num_rows=nr,
+                      num_colors=num_colors, workers=1, rounds=1,
+                      conflicts=0, backend=resolved)
+        return PartialD2Coloring(
+            colors, num_colors, strategy="d2-mp",
+            meta={"workers": 1, "rounds": 1, "conflicts": 0,
+                  "backend": resolved, "faults": stats, "degraded": False,
+                  "residual": 0, "transport": "in-process", "context": None,
+                  "bytes_to_workers": 0, "pool_reused": False})
+
+    runner = _run_rounds_shm if transport == "shm" else _run_rounds_pickle
+    with rec.phase("d2-mp"):
+        rounds, total_conflicts, work_list, meta_extra = runner(
+            bip, colors, work_list, num_workers, max_rounds, resolved, plan,
+            context, round_timeout=round_timeout, max_retries=max_retries,
+            backoff=backoff, rec=rec, stats=stats)
+
+    residual = int(work_list.shape[0])
+    if residual:  # residual conflicts: finish sequentially
+        if rec.enabled:
+            rec.event("mp_degraded", reason="max_rounds", residual=residual)
+        colors[work_list] = kernels.d2_sweep(
+            bip.incidence, nr, work_list, colors, backend=resolved)[work_list]
+
+    num_colors = int(colors.max(initial=-1)) + 1
+    degraded = bool(residual or stats["salvaged"])
+    if rec.enabled:
+        rec.event("partial_coloring", strategy="d2-mp", num_rows=nr,
+                  num_colors=num_colors, workers=num_workers, rounds=rounds,
+                  conflicts=total_conflicts, backend=resolved,
+                  degraded=degraded, transport=transport)
+    return PartialD2Coloring(
+        colors, num_colors, strategy="d2-mp",
+        meta={"workers": num_workers, "rounds": rounds,
+              "conflicts": total_conflicts, "backend": resolved,
+              "faults": stats, "degraded": degraded, "residual": residual,
+              "transport": transport, **meta_extra})
+
+
+def _run_rounds_pickle(
+    bip, colors, work_list, num_workers, max_rounds, resolved, plan, context,
+    *, round_timeout, max_retries, backoff, rec, stats,
+):
+    """Legacy transport: per-job pool, full snapshot pickled per task."""
+    from ..shm import pick_context
+
+    ctx = pick_context(context)
+    nr = bip.num_rows
+    rounds = 0
+    total_conflicts = 0
+    bytes_shipped = 0
+    stale_snapshot = colors.copy()  # round -1: everything uncolored
+    with ctx.Pool(
+        processes=num_workers,
+        initializer=_init_worker,
+        initargs=(bip.incidence.indptr, bip.incidence.indices),
+    ) as pool:
+        if rec.enabled:
+            rec.event("mp_pool", transport="pickle", reused=False,
+                      context=ctx.get_start_method(), processes=num_workers)
+            rec.count("shm.pool.cold_start")
+        while work_list.shape[0] and rounds < max_rounds:
+            round_idx = rounds
+            rounds += 1
+            blocks = split_blocks(work_list, num_workers)  # id order
+            snapshot = colors.copy()
+            round_bytes = 0
+
+            def make_task(w, use_stale, fault):
+                nonlocal round_bytes
+                snap = stale_snapshot if use_stale else snapshot
+                round_bytes += blocks[w].nbytes + snap.nbytes
+                return (blocks[w], snap, nr, resolved, fault)
+
+            results = _guarded_round(
+                pool, _d2_block_task, make_task, blocks, nr + 1, plan,
+                round_idx, timeout=round_timeout, max_retries=max_retries,
+                backoff=backoff, rec=rec, stats=stats)
+            work_list, conflicts = _merge_d2_round(
+                bip, colors, blocks, results, work_list, resolved,
+                round_idx, rec, stats)
+            total_conflicts += conflicts
+            bytes_shipped += round_bytes
+            stale_snapshot = snapshot
+            if rec.enabled:
+                rec.count("mp.bytes_to_workers", round_bytes)
+                rec.event("mp_round", index=round_idx, workers=num_workers,
+                          attempted=int(sum(b.shape[0] for b in blocks)),
+                          conflicts=int(work_list.shape[0]),
+                          bytes_to_workers=round_bytes)
+    return rounds, total_conflicts, work_list, {
+        "context": ctx.get_start_method(), "bytes_to_workers": bytes_shipped,
+        "pool_reused": False}
+
+
+def _run_rounds_shm(
+    bip, colors, work_list, num_workers, max_rounds, resolved, plan, context,
+    *, round_timeout, max_retries, backoff, rec, stats,
+):
+    """shm transport: warm pool, segment descriptors, offset-only tasks."""
+    from ..shm import SharedColors, SharedGraph, warm_pool
+
+    nr = bip.num_rows
+    shared_graph = SharedGraph.for_graph(bip.incidence)
+    shared_colors = SharedColors(nr)
+    pool = warm_pool()
+    reused = pool.ensure(num_workers, context=context)
+    if rec.enabled:
+        rec.event("mp_pool", transport="shm", reused=reused,
+                  context=pool.context, processes=pool.processes)
+        rec.count("shm.pool.reused" if reused else "shm.pool.cold_start")
+    rounds = 0
+    total_conflicts = 0
+    bytes_shipped = 0
+    # row parity as in parallel.mp: round r's snapshot is row r % 2, the
+    # other row still holds the previous round's view for "stale" faults
+    shared_colors.snapshots[1].fill(-1)
+    try:
+        while work_list.shape[0] and rounds < max_rounds:
+            round_idx = rounds
+            rounds += 1
+            blocks = split_blocks(work_list, num_workers)  # id order
+            cur = round_idx % 2
+            shared_colors.snapshots[cur][:] = colors
+            k = work_list.shape[0]
+            shared_colors.work[:k] = work_list
+            bounds = np.cumsum([0] + [b.shape[0] for b in blocks])
+            round_bytes = 0
+
+            def make_task(w, use_stale, fault):
+                nonlocal round_bytes
+                row = (1 - cur) if use_stale else cur
+                args = (shared_graph.spec, shared_colors.spec,
+                        int(bounds[w]), int(bounds[w + 1]), row, nr,
+                        resolved, fault)
+                round_bytes += len(pickle.dumps(args))
+                return args
+
+            results = _guarded_round(
+                pool, _d2_block_shm, make_task, blocks, nr + 1, plan,
+                round_idx, timeout=round_timeout, max_retries=max_retries,
+                backoff=backoff, rec=rec, stats=stats)
+            work_list, conflicts = _merge_d2_round(
+                bip, colors, blocks, results, work_list, resolved,
+                round_idx, rec, stats)
+            total_conflicts += conflicts
+            bytes_shipped += round_bytes
+            if rec.enabled:
+                rec.count("mp.bytes_to_workers", round_bytes)
+                rec.event("mp_round", index=round_idx, workers=num_workers,
+                          attempted=int(k), conflicts=int(work_list.shape[0]),
+                          bytes_to_workers=round_bytes)
+    finally:
+        shared_colors.close()
+    return rounds, total_conflicts, work_list, {
+        "context": pool.context, "bytes_to_workers": bytes_shipped,
+        "pool_reused": reused}
+
+
+def replay_partial_rounds(
+    bip: BipartiteGraph,
+    num_workers: int,
+    *,
+    max_rounds: int = 100,
+    backend: str | None = None,
+) -> tuple[PartialD2Coloring, list[dict]]:
+    """Run the mp protocol in-process, exposing each round's inputs.
+
+    Executes exactly the rounds :func:`mp_partial_d2` would run (same
+    id-order blocks, same snapshots, same merge and conflict rule) without
+    any pool, and returns the final coloring plus one dict per round:
+    ``{"blocks": [row arrays], "snapshot": colors at round start,
+    "work": the round's work list}``.  The benchmark times each block's
+    sweep in isolation against its snapshot to model the per-round
+    critical path on a machine with real cores — the blocks here are
+    byte-for-byte the mp engine's worker inputs.
+    """
+    resolved = kernels.resolve_backend(backend)
+    nr = bip.num_rows
+    colors = np.full(nr, -1, dtype=np.int64)
+    work_list = np.arange(nr, dtype=np.int64)
+    rounds: list[dict] = []
+    while work_list.shape[0] and len(rounds) < max_rounds:
+        blocks = split_blocks(work_list, num_workers)
+        snapshot = colors.copy()
+        for b in blocks:
+            colors[b] = kernels.d2_sweep(bip.incidence, nr, b, snapshot,
+                                         backend=resolved)[b]
+        retry = kernels.d2_conflicts(bip.incidence, nr, colors, work_list,
+                                     backend=resolved)
+        rounds.append({"blocks": blocks, "snapshot": snapshot,
+                       "work": work_list})
+        work_list = retry
+    if work_list.shape[0]:  # residual, as in mp_partial_d2
+        colors[work_list] = kernels.d2_sweep(
+            bip.incidence, nr, work_list, colors, backend=resolved)[work_list]
+    num_colors = int(colors.max(initial=-1)) + 1
+    return (PartialD2Coloring(colors, num_colors, strategy="d2-mp-replay",
+                              meta={"workers": num_workers,
+                                    "rounds": len(rounds),
+                                    "backend": resolved}),
+            rounds)

@@ -1,0 +1,219 @@
+"""Optimistic (speculate-and-resolve) partial distance-2 coloring.
+
+Taş/Kaya's *Greed is Good* scheme, ported onto this library's round
+machinery: all pending rows are colored speculatively against a snapshot
+(races between same-tick rows tolerated), a detection phase finds rows
+sharing a column with an equal color, and the losers — resolved by row-id
+priority, exactly like the distance-1 conflict rule — are recolored next
+round.  Three engines share the protocol:
+
+- :func:`partial_d2_sequential` — one :func:`repro.kernels.d2_sweep` pass
+  (both kernel backends are bit-identical);
+- :func:`optimistic_partial_d2` — the tick-machine superstep engine in
+  this module, instrumented with an
+  :class:`~repro.parallel.engine.ExecutionTrace` and guarded by a
+  :class:`~repro.resilience.ConvergenceWatchdog`.  With one thread it is
+  bit-identical to the sequential sweep (no two rows share a tick, so no
+  race can happen);
+- :func:`repro.bipartite.mp.mp_partial_d2` — real worker processes over
+  the PR 6 shm transport.
+
+Work units charged to the tick machine are *two-hop touches*: processing
+row ``r`` costs ``Σ_{c ∈ cols(r)} deg(c)`` slot reads plus the usual
+per-vertex overhead — the dominant cost of the distance-2 kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import kernels
+from ..obs import as_recorder
+from ..parallel.engine import TickMachine
+from ..resilience import ConvergenceWatchdog, DEFAULT_PATIENCE, resolve_fault_plan
+from .graph import BipartiteGraph
+from .types import PartialD2Coloring
+
+__all__ = ["d2_work_units", "optimistic_partial_d2", "partial_d2_sequential"]
+
+
+def d2_work_units(bip: BipartiteGraph) -> np.ndarray:
+    """Two-hop expansion size per row (the distance-2 processing cost)."""
+    indptr = bip.incidence.indptr
+    deg = np.diff(indptr)
+    nr = bip.num_rows
+    units = np.zeros(nr, dtype=np.int64)
+    row_slots = bip.incidence.indices[: indptr[nr]]
+    np.add.at(units, np.repeat(np.arange(nr, dtype=np.int64), deg[:nr]),
+              deg[row_slots])
+    return units
+
+
+def _row_order(bip: BipartiteGraph, order: np.ndarray | None) -> np.ndarray:
+    if order is None:
+        return np.arange(bip.num_rows, dtype=np.int64)
+    order = np.asarray(order, dtype=np.int64)
+    if (order.shape[0] != bip.num_rows
+            or not np.array_equal(np.sort(order), np.arange(bip.num_rows))):
+        raise ValueError("order must be a permutation of all rows")
+    return order
+
+
+def partial_d2_sequential(
+    bip: BipartiteGraph,
+    *,
+    order: np.ndarray | None = None,
+    backend: str | None = None,
+    recorder=None,
+) -> PartialD2Coloring:
+    """One-sided greedy distance-2 First-Fit over all rows, sequentially.
+
+    *order* (default: row id order) is the processing permutation.  On a
+    :meth:`~repro.bipartite.graph.BipartiteGraph.square_cover` in natural
+    order this is bit-identical to
+    ``greedy_distance2(graph, choice="ff", ordering="natural")``.
+    ``recorder`` gets a ``d2-sequential`` phase and one
+    ``partial_coloring`` event; attaching one never changes the result.
+    """
+    rec = as_recorder(recorder)
+    work = _row_order(bip, order)
+    with rec.phase("d2-sequential"):
+        colors = kernels.d2_sweep(bip.incidence, bip.num_rows, work,
+                                  backend=backend)
+    num_colors = int(colors.max(initial=-1)) + 1
+    if rec.enabled:
+        rec.event("partial_coloring", strategy="d2-sequential",
+                  num_rows=bip.num_rows, num_cols=bip.num_cols,
+                  num_colors=num_colors, rounds=1, conflicts=0)
+        rec.count("bipartite.rows_colored", bip.num_rows)
+    return PartialD2Coloring(
+        colors, num_colors, strategy="d2-sequential",
+        meta={"rounds": 1, "conflicts": 0,
+              "backend": kernels.resolve_backend(backend)},
+    )
+
+
+def optimistic_partial_d2(
+    bip: BipartiteGraph,
+    *,
+    num_threads: int = 1,
+    order: np.ndarray | None = None,
+    max_rounds: int = 200,
+    backend: str | None = None,
+    recorder=None,
+    fault_plan=None,
+    watchdog_patience: int = DEFAULT_PATIENCE,
+    capture: list | None = None,
+) -> PartialD2Coloring:
+    """Optimistic partial D2 coloring under *num_threads* simulated threads.
+
+    Tick semantics mirror :func:`repro.parallel.greedy.parallel_greedy_ff`
+    one hop deeper: the *p* rows of a tick each pick the smallest color
+    not held by any row sharing a column *as of the committed snapshot*
+    (same-tick peers' pending colors are invisible — the race), writes
+    commit at the tick boundary, and the round ends with a distance-2
+    detection phase whose losers form the next round's work list.  With
+    ``num_threads=1`` the result is bit-identical to
+    :func:`partial_d2_sequential`.
+
+    The returned coloring's ``meta["trace"]`` holds the
+    :class:`~repro.parallel.engine.ExecutionTrace`; ``recorder`` gets the
+    per-superstep events plus a final ``partial_coloring`` event.  A
+    :class:`~repro.resilience.ConvergenceWatchdog` degrades the loop to
+    one thread if the retry list stops shrinking, and ``fault_plan``
+    ``stick`` faults can deterministically waste rounds to exercise it.
+    ``backend`` selects the detection kernel; the speculative tick loop is
+    per-row by construction (it simulates the races).
+
+    *capture*, if a list, receives one dict per round — ``{"work": the
+    round's work list, "snapshot": row colors at round start}`` — the
+    hook ``benchmarks/bench_bipartite.py`` uses to re-time each thread's
+    row share in isolation (thread *t* owns positions ``work[t::p]``,
+    for both the sweep and the detection scan).
+    """
+    rec = as_recorder(recorder)
+    plan = resolve_fault_plan(fault_plan)
+    resolved = kernels.resolve_backend(backend)
+    watchdog = ConvergenceWatchdog(watchdog_patience, recorder=rec,
+                                   algorithm="d2-optimistic")
+    nr = bip.num_rows
+    machine = TickMachine(num_threads, algorithm="d2-optimistic")
+    indptr, indices = bip.incidence.indptr, bip.incidence.indices
+    units = d2_work_units(bip)
+
+    colors = np.full(nr, -1, dtype=np.int64)
+    limit = nr + 1
+    forbidden = np.full(limit, -1, dtype=np.int64)
+    stamp = 0
+    work_list = _row_order(bip, order)
+
+    rounds = 0
+    with rec.phase("d2-optimistic"):
+        while work_list.shape[0]:
+            rounds += 1
+            if capture is not None:
+                capture.append({"work": work_list,
+                                "snapshot": colors.copy()})
+            stick = plan.stick_active(rounds - 1)
+            if stick:
+                saved_colors = colors.copy()
+                if rec.enabled:
+                    rec.event("fault_injected", fault="stick", round=rounds - 1)
+            threads = 1 if (watchdog.fired or rounds > max_rounds) \
+                else machine.num_threads
+            record = machine.new_superstep()
+            p = threads
+            for t0 in range(0, work_list.shape[0], p):
+                batch = work_list[t0 : t0 + p]
+                pending = np.empty(batch.shape[0], dtype=np.int64)
+                for j, r in enumerate(batch):
+                    r = int(r)
+                    stamp += 1
+                    # self-exclusion: r's own stale color never forbids;
+                    # restored before the next (simulated) peer scans
+                    stale = colors[r]
+                    colors[r] = -1
+                    budget = 0
+                    for c in indices[indptr[r] : indptr[r + 1]]:
+                        two_hop = colors[indices[indptr[c] : indptr[c + 1]]]
+                        two_hop = two_hop[(two_hop >= 0) & (two_hop < limit)]
+                        forbidden[two_hop] = stamp
+                        budget += int(indptr[c + 1] - indptr[c])
+                    window = forbidden[: min(budget, nr) + 1]
+                    pending[j] = int(np.argmax(window != stamp))
+                    colors[r] = stale
+                    machine.charge(record, j % machine.num_threads,
+                                   int(units[r]))
+                colors[batch] = pending  # tick boundary: writes commit
+
+            if stick:
+                # injected fault: the round's commits are lost wholesale
+                colors[:] = saved_colors
+                retry = work_list
+                record.conflicts = int(work_list.shape[0])
+            else:
+                # detection phase: each work row rescans its two-hop slots
+                retry = kernels.d2_conflicts(bip.incidence, nr, colors,
+                                             work_list, backend=resolved)
+                for j, r in enumerate(work_list):
+                    machine.charge(record, j % machine.num_threads,
+                                   int(units[int(r)]))
+                record.conflicts = int(retry.shape[0])
+            machine.trace.add(record)
+            work_list = retry
+            watchdog.observe(int(work_list.shape[0]))
+
+    num_colors = int(colors.max(initial=-1)) + 1
+    machine.trace.record_to(rec)
+    if rec.enabled:
+        rec.event("partial_coloring", strategy="d2-optimistic",
+                  num_rows=nr, num_cols=bip.num_cols, num_colors=num_colors,
+                  threads=machine.num_threads, rounds=rounds,
+                  conflicts=machine.trace.total_conflicts)
+        rec.count("bipartite.rows_colored", nr)
+    meta = {"trace": machine.trace, "rounds": rounds, "backend": resolved,
+            **machine.trace.summary()}
+    if watchdog.fired:
+        meta["watchdog_round"] = watchdog.fired_round
+    return PartialD2Coloring(colors, num_colors, strategy="d2-optimistic",
+                             meta=meta)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.orderings import vertex_order
+from ..obs import as_recorder
 from .types import Coloring
 
 __all__ = ["greedy_distance2", "is_distance2_proper", "assert_distance2_proper"]
@@ -34,12 +35,17 @@ def greedy_distance2(
     choice: str = "ff",
     ordering: str | np.ndarray = "natural",
     seed=None,
+    recorder=None,
 ) -> Coloring:
     """Distance-2 color *graph* greedily with FF or LU color choice.
 
     LU picks the least-used permissible color among those already opened
     (the balanced variant); FF picks the smallest.  Runtime is
     O(Σ_v Σ_{w∈N(v)} deg(w)).
+
+    ``recorder`` (optional :class:`repro.obs.Recorder`) gets a
+    ``greedy-d2-{choice}`` phase timer and a final ``coloring`` event
+    with the two-hop work total; attaching one never changes the result.
     """
     if choice not in ("ff", "lu"):
         raise ValueError(f"choice must be 'ff' or 'lu', got {choice!r}")
@@ -51,6 +57,7 @@ def greedy_distance2(
         if sorted(order.tolist()) != list(range(n)):
             raise ValueError("ordering must be a permutation of all vertices")
 
+    rec = as_recorder(recorder)
     indptr, indices = graph.indptr, graph.indices
     # palette bound: a vertex sees at most deg(v) + sum deg(neighbors)
     # forbidden colors; allocate generously once
@@ -60,37 +67,45 @@ def greedy_distance2(
     forbidden = np.full(limit, -1, dtype=np.int64)
     num_colors = 0
     stamp = 0
+    two_hop_work = 0
 
-    for v in order:
-        v = int(v)
-        stamp += 1
-        nbrs = indices[indptr[v] : indptr[v + 1]]
-        seen = colors[nbrs]
-        forbidden[seen[seen >= 0]] = stamp
-        d2_budget = nbrs.shape[0]
-        for w in nbrs:
-            two_hop = colors[indices[indptr[w] : indptr[w + 1]]]
-            two_hop = two_hop[two_hop >= 0]
-            forbidden[two_hop] = stamp
-            d2_budget += two_hop.shape[0]
-        if choice == "ff":
-            window = forbidden[: d2_budget + 1]
-            k = int(np.argmax(window != stamp))
-        else:
-            if num_colors == 0:
-                k = 0
+    with rec.phase(f"greedy-d2-{choice}"):
+        for v in order:
+            v = int(v)
+            stamp += 1
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            seen = colors[nbrs]
+            forbidden[seen[seen >= 0]] = stamp
+            d2_budget = nbrs.shape[0]
+            for w in nbrs:
+                two_hop = colors[indices[indptr[w] : indptr[w + 1]]]
+                two_hop = two_hop[two_hop >= 0]
+                forbidden[two_hop] = stamp
+                d2_budget += two_hop.shape[0]
+            two_hop_work += d2_budget
+            if choice == "ff":
+                window = forbidden[: d2_budget + 1]
+                k = int(np.argmax(window != stamp))
             else:
-                open_mask = forbidden[:num_colors] != stamp
-                if open_mask.any():
-                    cand = np.nonzero(open_mask)[0]
-                    k = int(cand[np.argmin(sizes[cand])])
+                if num_colors == 0:
+                    k = 0
                 else:
-                    k = num_colors
-        colors[v] = k
-        sizes[k] += 1
-        if k >= num_colors:
-            num_colors = k + 1
+                    open_mask = forbidden[:num_colors] != stamp
+                    if open_mask.any():
+                        cand = np.nonzero(open_mask)[0]
+                        k = int(cand[np.argmin(sizes[cand])])
+                    else:
+                        k = num_colors
+            colors[v] = k
+            sizes[k] += 1
+            if k >= num_colors:
+                num_colors = k + 1
 
+    if rec.enabled:
+        rec.event("coloring", strategy=f"greedy-d2-{choice}",
+                  num_vertices=n, num_colors=num_colors,
+                  two_hop_work=int(two_hop_work))
+        rec.count("d2.two_hop_work", int(two_hop_work))
     return Coloring(
         colors,
         num_colors,

@@ -274,6 +274,113 @@ def _mp_greedy_ff(graph: CSRGraph, initial: Coloring | None = None, *,
                         recorder=recorder, **kwargs)
 
 
+# --------------------------------------------------------------------------
+# distance-2 implementations (repro.bipartite engines on the square cover)
+#
+# A full distance-2 coloring of G is exactly a one-sided partial coloring
+# of G's square cover (rows = columns = V(G), row u ~ col v iff u == v or
+# u ~ v), so the registry rows run the bipartite engines on the cover and
+# repackage the row colors as an ordinary Coloring.  D2-proper implies
+# D1-proper (adjacent vertices are within distance two), so the run
+# layer's heal() invariant holds unchanged.
+#
+# Imported inside the callables: repro.bipartite imports sibling
+# repro.coloring modules, so a top-level import here would be circular.
+# --------------------------------------------------------------------------
+
+
+@_accepts("ordering", "choice")
+def _seq_d2(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+    from .distance2 import greedy_distance2
+
+    return greedy_distance2(graph, seed=seed, recorder=recorder, **kwargs)
+
+
+def _d2_order(graph: CSRGraph, ordering, seed):
+    """Resolve an ordering option to a row permutation of the square cover
+    (cover rows are exactly the vertices of *graph*), or None for natural."""
+    import numpy as np
+
+    from ..graph.orderings import vertex_order
+
+    if ordering is None:
+        return None
+    if isinstance(ordering, str):
+        if ordering == "natural":
+            return None
+        return vertex_order(graph, ordering, seed=seed)
+    return np.asarray(ordering, dtype=np.int64)
+
+
+def _cover_coloring(pc, strategy: str) -> Coloring:
+    """Repackage a total partial-D2 coloring of the cover as a Coloring."""
+    return Coloring(pc.colors, pc.num_colors, strategy=strategy, meta=dict(pc.meta))
+
+
+@_accepts("ordering", "backend")
+def _seq_d2_optimistic(graph: CSRGraph, initial: Coloring | None = None, *,
+                       threads: int = 1, seed=None, recorder=None,
+                       **kwargs) -> Coloring:
+    from ..bipartite import BipartiteGraph, partial_d2_sequential
+
+    order = _d2_order(graph, kwargs.pop("ordering", None), seed)
+    cover = BipartiteGraph.square_cover(graph)
+    pc = partial_d2_sequential(cover, order=order, recorder=recorder, **kwargs)
+    return _cover_coloring(pc, "d2-optimistic")
+
+
+@_accepts("ordering", "max_rounds", "fault_plan", "backend")
+def _superstep_d2_optimistic(graph: CSRGraph, initial: Coloring | None = None, *,
+                             threads: int = 1, seed=None, recorder=None,
+                             **kwargs) -> Coloring:
+    from ..bipartite import BipartiteGraph, optimistic_partial_d2
+
+    order = _d2_order(graph, kwargs.pop("ordering", None), seed)
+    cover = BipartiteGraph.square_cover(graph)
+    pc = optimistic_partial_d2(cover, num_threads=threads, order=order,
+                               recorder=recorder, **kwargs)
+    return _cover_coloring(pc, "d2-optimistic")
+
+
+@_accepts("max_rounds", "backend", "fault_plan", "round_timeout",
+          "max_retries", "shm", "context")
+def _mp_d2_optimistic(graph: CSRGraph, initial: Coloring | None = None, *,
+                      threads: int = 1, seed=None, recorder=None,
+                      **kwargs) -> Coloring:
+    from ..bipartite import BipartiteGraph, mp_partial_d2
+
+    cover = BipartiteGraph.square_cover(graph)
+    pc = mp_partial_d2(cover, num_workers=threads, recorder=recorder, **kwargs)
+    return _cover_coloring(pc, "d2-optimistic")
+
+
+def _d2_balanced(base_impl, accepts: frozenset):
+    """Wrap a d2-optimistic mode impl with the one-sided shuffle drain.
+
+    The drain runs in-process after the engine (it is a cheap sequential
+    tail, like the residual pass), preserves the color count, and keeps
+    distance-2 properness move by move.
+    """
+
+    @_accepts(*(accepts | {"choice"}))
+    def run(graph: CSRGraph, initial: Coloring | None = None, *,
+            threads: int = 1, seed=None, recorder=None, **kwargs) -> Coloring:
+        from ..bipartite import BipartiteGraph, PartialD2Coloring, balance_partial_d2
+
+        choice = kwargs.pop("choice", "ff")
+        colored = base_impl(graph, initial, threads=threads, seed=seed,
+                            recorder=recorder, **kwargs)
+        cover = BipartiteGraph.square_cover(graph)
+        pc = PartialD2Coloring(colored.colors, colored.num_colors,
+                               strategy=colored.strategy, meta=colored.meta)
+        balanced = balance_partial_d2(cover, pc, choice=choice,
+                                      recorder=recorder)
+        return _cover_coloring(balanced, "d2-balanced")
+
+    return run
+
+
 def _spec(name: str, category: str, same_color_count: bool, description: str, *,
           sequential: Callable[..., Coloring],
           superstep: Callable[..., Coloring] | None = None,
@@ -352,6 +459,29 @@ STRATEGIES: dict[str, StrategySpec] = {
         "kempe", "guided", True,
         "Kempe-chain exchange rebalancing (extension)",
         sequential=_seq_kempe,
+    ),
+    "d2": _spec(
+        "d2", "ab_initio", False,
+        "Greedy distance-2 coloring (Jacobian compression), FF or LU choice",
+        sequential=_seq_d2,
+    ),
+    "d2-optimistic": _spec(
+        "d2-optimistic", "ab_initio", False,
+        "Optimistic partial distance-2 coloring on the square cover "
+        "(speculative sweeps + conflict removal)",
+        sequential=_seq_d2_optimistic,
+        superstep=_superstep_d2_optimistic,
+        mp=_mp_d2_optimistic,
+    ),
+    "d2-balanced": _spec(
+        "d2-balanced", "ab_initio", False,
+        "Optimistic distance-2 coloring + one-sided shuffle drain of "
+        "over-full color classes",
+        sequential=_d2_balanced(_seq_d2_optimistic,
+                                _seq_d2_optimistic.accepts),
+        superstep=_d2_balanced(_superstep_d2_optimistic,
+                               _superstep_d2_optimistic.accepts),
+        mp=_d2_balanced(_mp_d2_optimistic, _mp_d2_optimistic.accepts),
     ),
 }
 

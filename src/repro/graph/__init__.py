@@ -22,8 +22,10 @@ from .generators import (
     empty_graph,
     erdos_renyi_graph,
     grid_3d_graph,
+    jacobian_band_pattern,
     path_graph,
     powerlaw_cluster_graph,
+    random_sparse_pattern,
     rmat_graph,
     road_network_graph,
     star_graph,
@@ -61,6 +63,8 @@ __all__ = [
     "grid_3d_graph",
     "road_network_graph",
     "clique_overlay_graph",
+    "jacobian_band_pattern",
+    "random_sparse_pattern",
     "natural_order",
     "random_order",
     "largest_first_order",

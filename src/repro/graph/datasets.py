@@ -22,6 +22,8 @@ from .csr import CSRGraph
 from .generators import (
     clique_overlay_graph,
     grid_3d_graph,
+    jacobian_band_pattern,
+    random_sparse_pattern,
     rmat_graph,
     road_network_graph,
 )
@@ -118,6 +120,22 @@ def _europe_osm(scale: float, seed: int) -> CSRGraph:
     return road_network_graph(_scaled(50000, scale), shortcut_frac=0.05, seed=seed)
 
 
+def _jacband(scale: float, seed: int) -> CSRGraph:
+    # banded constraint Jacobian: tall-skinny (10:1), band 7 + one random
+    # coupling nonzero per row.  Incidence layout: rows first, then columns
+    # (wrap with BipartiteGraph.from_incidence for the one-sided engines;
+    # the d2 strategy rows work on it directly).
+    nr = _scaled(16000, scale)
+    return jacobian_band_pattern(nr, max(64, nr // 10), 7, seed=seed)
+
+
+def _jacrand(scale: float, seed: int) -> CSRGraph:
+    # unstructured Jacobian: tall-skinny (8:1), ~6 random nonzeros per row
+    # -> frequent column collisions, the hard case for optimistic D2
+    nr = _scaled(12000, scale)
+    return random_sparse_pattern(nr, max(64, nr // 8), 6, seed=seed)
+
+
 DATASETS: dict[str, DatasetSpec] = {
     "cnr": DatasetSpec(
         "cnr", "CNR (325K vertices, web crawl)",
@@ -142,6 +160,16 @@ DATASETS: dict[str, DatasetSpec] = {
     "europe_osm": DatasetSpec(
         "europe_osm", "Europe-osm (50.9M vertices, road network)",
         "tree-plus-shortcuts road-network stand-in", _europe_osm,
+    ),
+    "jacband": DatasetSpec(
+        "jacband", "banded constraint Jacobian (tall-skinny pattern)",
+        "bipartite incidence: banded rows + one random coupling nonzero",
+        _jacband,
+    ),
+    "jacrand": DatasetSpec(
+        "jacrand", "unstructured Jacobian (tall-skinny pattern)",
+        "bipartite incidence: uniform random nonzeros, frequent collisions",
+        _jacrand,
     ),
 }
 

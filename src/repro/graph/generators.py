@@ -36,6 +36,8 @@ __all__ = [
     "grid_3d_graph",
     "road_network_graph",
     "clique_overlay_graph",
+    "jacobian_band_pattern",
+    "random_sparse_pattern",
 ]
 
 
@@ -299,3 +301,63 @@ def clique_overlay_graph(
         all_u.append(bu)
         all_v.append(bv)
     return from_edge_arrays(np.concatenate(all_u), np.concatenate(all_v), num_vertices=n)
+
+
+# ----------------------------------------------------------------------
+# bipartite incidence patterns (Jacobian-compression stand-ins)
+# ----------------------------------------------------------------------
+def jacobian_band_pattern(
+    num_rows: int, num_cols: int, band: int, *, seed=None
+) -> CSRGraph:
+    """Banded tall-skinny sparsity pattern as a bipartite incidence graph.
+
+    Models the Jacobian of a discretized 1-D operator evaluated on a fine
+    grid: row *i* has nonzeros in a window of *band* consecutive columns
+    centered on its projection ``i * num_cols / num_rows`` (clipped at the
+    column range).  With ``seed`` given, each row additionally gets one
+    uniformly random off-band nonzero (a coupling term), which breaks the
+    perfect band structure the way real constraint Jacobians do.
+
+    The returned graph follows the :class:`repro.bipartite.BipartiteGraph`
+    vertex layout — rows on ``[0, num_rows)``, columns on ``[num_rows,
+    num_rows + num_cols)`` — so ``BipartiteGraph.from_incidence(g,
+    num_rows)`` wraps it directly.
+    """
+    check_positive("num_rows", num_rows)
+    check_positive("num_cols", num_cols)
+    check_positive("band", band)
+    band = min(int(band), num_cols)
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), band)
+    center = (np.arange(num_rows, dtype=np.int64) * num_cols) // num_rows
+    start = np.clip(center - (band - 1) // 2, 0, num_cols - band)
+    cols = (np.repeat(start, band)
+            + np.tile(np.arange(band, dtype=np.int64), num_rows))
+    if seed is not None:
+        rng = as_rng(seed)
+        extra = rng.integers(0, num_cols, size=num_rows, dtype=np.int64)
+        rows = np.concatenate([rows, np.arange(num_rows, dtype=np.int64)])
+        cols = np.concatenate([cols, extra])
+    return from_edge_arrays(rows, cols + num_rows,
+                            num_vertices=num_rows + num_cols)
+
+
+def random_sparse_pattern(
+    num_rows: int, num_cols: int, nnz_per_row: int, *, seed=None
+) -> CSRGraph:
+    """Uniform random tall-skinny pattern as a bipartite incidence graph.
+
+    Each row draws *nnz_per_row* column indices uniformly at random
+    (duplicates collapse, so realized row degrees are at most that) — the
+    unstructured Jacobian case where column collisions, and hence
+    distance-2 conflicts between rows, are frequent.  Same vertex layout
+    as :func:`jacobian_band_pattern`: rows first, then columns.
+    """
+    check_positive("num_rows", num_rows)
+    check_positive("num_cols", num_cols)
+    check_positive("nnz_per_row", nnz_per_row)
+    rng = as_rng(seed)
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), nnz_per_row)
+    cols = rng.integers(0, num_cols, size=num_rows * nnz_per_row,
+                        dtype=np.int64)
+    return from_edge_arrays(rows, cols + num_rows,
+                            num_vertices=num_rows + num_cols)

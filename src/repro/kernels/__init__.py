@@ -48,6 +48,8 @@ __all__ = [
     "available_backends",
     "bin_sizes",
     "count_monochromatic_edges",
+    "d2_conflicts",
+    "d2_sweep",
     "detect_conflicts",
     "ff_sweep",
     "get_default_backend",
@@ -134,6 +136,96 @@ def ff_sweep(
 
     impl = vectorized.ff_sweep if name == "vectorized" else reference.ff_sweep
     return impl(graph, work, base)
+
+
+def _check_num_rows(graph: CSRGraph, num_rows: int) -> int:
+    if not 0 < num_rows <= graph.num_vertices:
+        raise ValueError(
+            f"num_rows must be in [1, {graph.num_vertices}], got {num_rows}"
+        )
+    return int(num_rows)
+
+
+def d2_sweep(
+    graph: CSRGraph,
+    num_rows: int,
+    work: np.ndarray | None = None,
+    base_colors: np.ndarray | None = None,
+    *,
+    backend: str | None = None,
+) -> np.ndarray:
+    """One-sided distance-2 First-Fit sweep over a bipartite incidence graph.
+
+    *graph* must be bipartite with the row side on vertices
+    ``[0, num_rows)`` (see :class:`repro.bipartite.BipartiteGraph`); only
+    rows are colored.  *work* defaults to all rows in id order,
+    *base_colors* (length ``num_rows``) to all uncolored.  Each work row,
+    in order, gets the smallest color not held by any other row within two
+    hops (i.e. sharing a column) at its processing time.  Both backends
+    produce bit-identical output.
+    """
+    name = resolve_backend(backend)
+    nr = _check_num_rows(graph, num_rows)
+    if work is None:
+        work = np.arange(nr, dtype=np.int64)
+    else:
+        work = np.asarray(work, dtype=np.int64)
+    if base_colors is None:
+        base = np.full(nr, -1, dtype=np.int64)
+    else:
+        base = np.asarray(base_colors, dtype=np.int64)
+    from . import reference, vectorized
+
+    impl = vectorized.d2_sweep if name == "vectorized" else reference.d2_sweep
+    return impl(graph, nr, work, base)
+
+
+def d2_conflicts(
+    graph: CSRGraph,
+    num_rows: int,
+    colors: np.ndarray,
+    work: np.ndarray | None = None,
+    *,
+    cols: np.ndarray | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Distance-2 conflict detection over a bipartite incidence graph.
+
+    Returns the sorted unique *work* rows (default: all rows) that must be
+    recolored: within every monochromatic group of rows sharing a column,
+    all in-work rows except the minimum id lose, and the minimum loses too
+    when a finalized row holds the same color.  Both backends produce the
+    identical retry set.
+
+    *cols* restricts the scan to the given column vertex ids.  The
+    default is the columns adjacent to the work rows — an exact
+    restriction, since a column no work row touches can never yield a
+    retry.  Per-column decisions are independent, so disjoint *cols*
+    subsets can be scanned in parallel and unioned; the benchmark's
+    modeled detection threads rely on exactly that.
+    """
+    name = resolve_backend(backend)
+    nr = _check_num_rows(graph, num_rows)
+    if work is None:
+        work = np.arange(nr, dtype=np.int64)
+    else:
+        work = np.asarray(work, dtype=np.int64)
+    if work.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    colors = np.asarray(colors, dtype=np.int64)
+    if cols is None:
+        starts, lens = graph.indptr[work], np.diff(graph.indptr)[work]
+        total = int(lens.sum())
+        offs = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens
+        ) + np.arange(total, dtype=np.int64)
+        cols = np.unique(graph.indices[offs])
+    else:
+        cols = np.asarray(cols, dtype=np.int64)
+    from . import reference, vectorized
+
+    impl = vectorized.d2_conflicts if name == "vectorized" else reference.d2_conflicts
+    return impl(graph, nr, colors, work, cols)
 
 
 def shuffle_drain(

@@ -18,7 +18,8 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..obs import NULL
 
-__all__ = ["ff_sweep", "shuffle_drain", "pick_shuffle_target"]
+__all__ = ["d2_conflicts", "d2_sweep", "ff_sweep", "shuffle_drain",
+           "pick_shuffle_target"]
 
 
 def _drain_round_event(recorder, source: int, moves: int, sizes: np.ndarray) -> None:
@@ -54,6 +55,84 @@ def ff_sweep(graph: CSRGraph, work: np.ndarray, base: np.ndarray) -> np.ndarray:
         forbidden[nbr] = stamp
         local[v] = int(np.argmax(forbidden[:window_len] != stamp))
     return local
+
+
+def d2_sweep(
+    graph: CSRGraph, num_rows: int, work: np.ndarray, base: np.ndarray
+) -> np.ndarray:
+    """Sequential one-sided distance-2 First-Fit over *work* rows.
+
+    *graph* is a bipartite incidence graph: vertices ``[0, num_rows)`` are
+    the row side (the only side that gets colored), the rest the column
+    side.  Each row of *work*, processed in the given order, is assigned
+    the smallest color not held by any other row sharing a column with it
+    at processing time.  Commits are local, exactly like :func:`ff_sweep`:
+    row ``work[i]`` sees the new colors of ``work[:i]`` and the *base*
+    (possibly stale) colors of everything else.  A row never forbids its
+    own stale color.  Returns a copy of *base* (length ``num_rows``) with
+    the work rows reassigned.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    local = base.copy()
+    limit = num_rows + 1
+    forbidden = np.full(limit, -1, dtype=np.int64)
+    for stamp, r in enumerate(work):
+        r = int(r)
+        local[r] = -1  # self-exclusion: r's stale color is not forbidden
+        budget = 0
+        for c in indices[indptr[r] : indptr[r + 1]]:
+            two_hop = local[indices[indptr[c] : indptr[c + 1]]]
+            # colors >= limit cannot affect a mex bounded by num_rows
+            two_hop = two_hop[(two_hop >= 0) & (two_hop < limit)]
+            forbidden[two_hop] = stamp
+            budget += int(indptr[c + 1] - indptr[c])
+        window = forbidden[: min(budget, num_rows) + 1]
+        local[r] = int(np.argmax(window != stamp))
+    return local
+
+
+def d2_conflicts(
+    graph: CSRGraph, num_rows: int, colors: np.ndarray, work: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Rows of *work* that lost a speculative distance-2 race.
+
+    Two colored rows sharing a column with equal colors conflict; the
+    resolution rule mirrors :func:`~repro.parallel.mp.detect_cross_conflicts`:
+    within each monochromatic group of a column, every in-work row except
+    the minimum id is retried, and the minimum is retried too when a
+    finalized (not-in-work) row holds the same color — the finalized row
+    always keeps its color.  Uncolored rows never conflict.  Only the
+    columns in *cols* are scanned (the facade passes the work-adjacent
+    set; per-column decisions are independent, so a partition of the
+    columns unions to the same retry set).  Returns the sorted unique
+    retry rows.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    in_work = np.zeros(num_rows, dtype=bool)
+    in_work[work] = True
+    retry: set[int] = set()
+    for c in cols:
+        rows = indices[indptr[c] : indptr[c + 1]]
+        cc = colors[rows]
+        mask = cc >= 0
+        rows, cc = rows[mask], cc[mask]
+        if rows.shape[0] < 2:
+            continue
+        order = np.lexsort((rows, cc))
+        rows, cc = rows[order], cc[order]
+        start = 0
+        for i in range(1, rows.shape[0] + 1):
+            if i == rows.shape[0] or cc[i] != cc[start]:
+                if i - start > 1:
+                    group = rows[start:i]  # ascending row id
+                    for r in group[1:]:
+                        if in_work[r]:
+                            retry.add(int(r))
+                    if in_work[group[0]] and not in_work[group].all():
+                        retry.add(int(group[0]))
+                start = i
+    return np.array(sorted(retry), dtype=np.int64)
 
 
 def pick_shuffle_target(

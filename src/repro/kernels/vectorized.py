@@ -45,7 +45,7 @@ from ..graph.csr import CSRGraph
 from ..obs import NULL
 from .reference import _drain_round_event
 
-__all__ = ["ff_sweep", "shuffle_drain"]
+__all__ = ["d2_conflicts", "d2_sweep", "ff_sweep", "shuffle_drain"]
 
 # below this per-round batch size the array-staging overhead beats the
 # stamped loop; measured crossover is a few dozen vertices
@@ -198,6 +198,142 @@ def _scalar_round(
         present = np.zeros(window_len, dtype=bool)
         present[vals[vals < window_len]] = True
         res[p] = int(np.argmin(present))  # first False = smallest free color
+
+
+# ----------------------------------------------------------------------
+# one-sided distance-2 kernels (bipartite incidence graphs)
+# ----------------------------------------------------------------------
+def d2_sweep(
+    graph: CSRGraph, num_rows: int, work: np.ndarray, base: np.ndarray
+) -> np.ndarray:
+    """Batch one-sided distance-2 First-Fit; see the reference docstring.
+
+    Bit-identical to :func:`repro.kernels.reference.d2_sweep`.  The same
+    Jones-Plassmann argument as :func:`ff_sweep` applies one level deeper:
+    each round colors every pending work row whose earlier-in-order
+    *two-hop* neighbors (rows reached through a shared column) have all
+    committed.  Such frontier rows are pairwise distance-2 independent, so
+    any processing order gives the sequential result.  The two-hop
+    neighborhood multiset is expanded once up front with two flat gathers
+    (row → column slots → row slots) and never materialized as a graph.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    out = base.copy()
+    W = work.shape[0]
+    if W == 0:
+        return out
+
+    pos = np.full(num_rows, -1, dtype=np.int64)
+    pos[work] = np.arange(W, dtype=np.int64)
+    deg = np.diff(indptr)
+    # level 1: every work row's column slots; level 2: those columns' row
+    # slots — together the two-hop multiset, ordered by work position
+    l1_flat, l1_src = _gather_rows(indptr[work], deg[work])
+    cols = indices[l1_flat]
+    l2_flat, l2_of_l1 = _gather_rows(indptr[cols], deg[cols])
+    rows2 = indices[l2_flat]
+    src_pos = l1_src[l2_of_l1]
+    tgt_pos = pos[rows2]
+    lens2 = np.bincount(src_pos, minlength=W)
+    sub_indptr = np.zeros(W + 1, dtype=np.int64)
+    np.cumsum(lens2, out=sub_indptr[1:])
+
+    # self entries have tgt_pos == src_pos, so both masks exclude them
+    is_pred = (tgt_pos >= 0) & (tgt_pos < src_pos)
+    is_succ = tgt_pos > src_pos
+    # snapshot value per entry: the base color for non-pred, non-self rows
+    # (in-work successors read their stale base, like the reference local
+    # commits); predecessor entries are patched from `res` each round
+    snap_vals = np.full(rows2.shape[0], -1, dtype=np.int64)
+    if bool((base >= 0).any()):
+        fill = ~is_pred & (tgt_pos != src_pos)
+        snap_vals[fill] = base[rows2[fill]]
+
+    dep = np.bincount(src_pos[is_pred], minlength=W)
+    res = np.full(W, -1, dtype=np.int64)
+    frontier = np.nonzero(dep == 0)[0]
+    while frontier.shape[0]:
+        e, seg = _gather_rows(sub_indptr[frontier], lens2[frontier])
+        if frontier.shape[0] < _SMALL_FRONTIER:
+            _scalar_d2_round(frontier, sub_indptr, tgt_pos, is_pred,
+                             snap_vals, res)
+        else:
+            vals = snap_vals[e]
+            pred = is_pred[e]
+            vals[pred] = res[tgt_pos[e[pred]]]
+            colored = vals >= 0
+            res[frontier] = _segment_mex(seg[colored], vals[colored],
+                                         frontier.shape[0])
+        es = e[is_succ[e]]
+        if es.shape[0]:
+            dep -= np.bincount(tgt_pos[es], minlength=W)
+            frontier = np.nonzero((dep == 0) & (res < 0))[0]
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+
+    out[work] = res
+    return out
+
+
+def _scalar_d2_round(
+    frontier: np.ndarray,
+    sub_indptr: np.ndarray,
+    tgt_pos: np.ndarray,
+    is_pred: np.ndarray,
+    snap_vals: np.ndarray,
+    res: np.ndarray,
+) -> None:
+    """Color one (small) two-hop frontier with a per-row loop."""
+    for p in frontier:
+        lo, hi = int(sub_indptr[p]), int(sub_indptr[p + 1])
+        vals = snap_vals[lo:hi].copy()
+        pred = is_pred[lo:hi]
+        vals[pred] = res[tgt_pos[lo:hi][pred]]
+        vals = vals[vals >= 0]
+        window_len = vals.shape[0] + 1
+        present = np.zeros(window_len, dtype=bool)
+        present[vals[vals < window_len]] = True
+        res[p] = int(np.argmin(present))
+
+
+def d2_conflicts(
+    graph: CSRGraph, num_rows: int, colors: np.ndarray, work: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Vectorized distance-2 conflict detection; see the reference docstring.
+
+    Produces the identical retry set: the colored (column, row) slots of
+    the *cols* columns are lexsorted by (column, color, row id), making
+    monochromatic groups adjacent runs with the minimum row first;
+    in-work non-minimum members are retried, and a run's minimum is
+    retried when the run contains a finalized row.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    lens = indptr[cols + 1] - indptr[cols]
+    flat, seg = _gather_rows(indptr[cols], lens)
+    rows = indices[flat]
+    cc = colors[rows]
+    keep = cc >= 0
+    rows, seg, cc = rows[keep], seg[keep], cc[keep]
+    if rows.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((rows, cc, seg))
+    rows, seg, cc = rows[order], seg[order], cc[order]
+
+    same = np.zeros(rows.shape[0], dtype=bool)
+    same[1:] = (seg[1:] == seg[:-1]) & (cc[1:] == cc[:-1])
+    run_id = np.cumsum(~same) - 1
+    nruns = int(run_id[-1]) + 1
+    in_work = np.zeros(num_rows, dtype=bool)
+    in_work[work] = True
+    run_has_final = np.zeros(nruns, dtype=bool)
+    np.logical_or.at(run_has_final, run_id, ~in_work[rows])
+    run_len = np.bincount(run_id, minlength=nruns)
+
+    retry = (same & in_work[rows]) | (
+        ~same & (run_len[run_id] > 1) & in_work[rows] & run_has_final[run_id]
+    )
+    return np.unique(rows[retry])
 
 
 # ----------------------------------------------------------------------

@@ -235,3 +235,47 @@ def test_quick_chaos_bench_runs_and_passes_baseline_check(tmp_path):
     assert payload["meta"]["mode"] == "quick"
     assert {r["campaign"] for r in payload["results"]} == {
         "io_chaos", "process_chaos", "crash_restart"}
+
+
+BENCH_BIPARTITE = REPO_ROOT / "benchmarks" / "bench_bipartite.py"
+BASELINE_BIPARTITE = REPO_ROOT / "BENCH_bipartite.json"
+
+
+def test_bipartite_baseline_artifact_meets_acceptance_floors():
+    """The checked-in artifact must show the PR's acceptance numbers: a
+    modeled optimistic speedup >= 2x at 4 threads on a >=1e5-edge
+    pattern, every coloring total/proper with 1-thread bit-parity, and
+    the one-sided drain reducing class-size RSD without new colors."""
+    payload = json.loads(BASELINE_BIPARTITE.read_text())
+    assert payload["meta"]["mode"] == "full"
+    rows = payload["results"]["patterns"]
+    gated = [r for r in rows if r["num_edges"] >= 100_000]
+    assert gated, "baseline has no 1e5+-edge patterns"
+    assert max(r["speedup"] for r in gated) >= 2.0
+    for row in rows:
+        assert row["threads"] == 4
+        assert row["proper"] is True and row["total"] is True
+        assert row["single_thread_bit_identical"] is True
+    for row in payload["results"]["balance"]:
+        assert row["proper"] is True
+        assert row["num_colors_after"] == row["num_colors_before"]
+        assert row["rsd_after"] < row["rsd_before"]
+
+
+@pytest.mark.slow
+def test_quick_bipartite_bench_runs_and_passes_baseline_check(tmp_path):
+    out = tmp_path / "bench_bipartite_quick.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_BIPARTITE), "--quick", "--out", str(out),
+         "--check", str(BASELINE_BIPARTITE)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["mode"] == "quick"
+    assert {r["pattern"] for r in payload["results"]["patterns"]} == {
+        "jacband", "jacrand"}
+    assert all(r["proper"] for r in payload["results"]["patterns"])
